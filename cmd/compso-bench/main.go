@@ -1,0 +1,166 @@
+// Command compso-bench regenerates the paper's evaluation tables and
+// figures (§5) from the reproduction's simulated platforms and synthetic
+// workloads.
+//
+// Usage:
+//
+//	compso-bench -exp all            # everything (slow: trains proxies)
+//	compso-bench -exp fig1           # one experiment
+//	compso-bench -exp fig6 -iters 60 # convergence with a custom budget
+//	compso-bench -exp fig8 -measure  # include real Go throughput runs
+//
+// Experiments: fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"compso/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, ablation")
+	iters := flag.Int("iters", 0, "training iteration budget for convergence experiments (0 = paper-scale default)")
+	measure := flag.Bool("measure", false, "fig8: also measure real Go implementation throughput")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"fig1": func() error {
+			_, tb := experiments.Figure1()
+			fmt.Println(tb)
+			return nil
+		},
+		"fig3": func() error {
+			_, tb, err := experiments.Figure3(*iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"fig5": func() error {
+			results, tb := experiments.Figure5()
+			fmt.Println(tb)
+			// Render the histograms as ASCII densities.
+			for _, r := range results {
+				fmt.Printf("%-5s %-26s ", r.Mode, r.LayerType)
+				for _, d := range r.Density {
+					fmt.Print(spark(d))
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+			return nil
+		},
+		"fig6": func() error {
+			runs, tb, err := experiments.Figure6(*iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			for _, r := range runs {
+				fmt.Printf("%-13s %-17s losses:", r.Model, r.Method)
+				for _, l := range r.Losses {
+					fmt.Printf(" %.3f", l)
+				}
+				fmt.Println()
+			}
+			fmt.Println()
+			return nil
+		},
+		"fig7": func() error {
+			_, tb, err := experiments.Figure7()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"fig8": func() error {
+			_, tb, err := experiments.Figure8(*measure)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"fig9": func() error {
+			_, tb, err := experiments.Figure9()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"table1": func() error {
+			_, tb, err := experiments.Table1(*iters)
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"table2": func() error {
+			_, tb, err := experiments.Table2()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"headline": func() error {
+			_, tb, err := experiments.Headline()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+		"ablation": func() error {
+			_, tb, err := experiments.Ablations()
+			if err != nil {
+				return err
+			}
+			fmt.Println(tb)
+			return nil
+		},
+	}
+	order := []string{"headline", "fig1", "fig3", "fig5", "fig6", "table1", "fig7", "table2", "fig8", "fig9", "ablation"}
+	quick := []string{"headline", "fig1", "fig5", "fig7", "table2", "fig8", "fig9", "ablation"}
+
+	var selected []string
+	switch *exp {
+	case "all":
+		selected = order
+	case "quick":
+		selected = quick
+	default:
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: all, quick, %s)\n", *exp, strings.Join(order, ", "))
+			os.Exit(2)
+		}
+		selected = []string{*exp}
+	}
+	for _, name := range selected {
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// spark maps a density to a block character for ASCII histograms.
+func spark(d float64) string {
+	blocks := []rune(" ▁▂▃▄▅▆▇█")
+	idx := int(d * 8 / 0.12)
+	if idx >= len(blocks) {
+		idx = len(blocks) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return string(blocks[idx])
+}

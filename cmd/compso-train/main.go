@@ -1,0 +1,130 @@
+// Command compso-train trains a proxy model with distributed K-FAC (or
+// SGD) on the simulated cluster, optionally compressing the gradient
+// exchange, and prints the convergence log and communication breakdown.
+//
+// Usage:
+//
+//	compso-train -model resnet -optimizer kfac -compressor compso -gpus 8
+//	compso-train -model bert -optimizer sgd -compressor cocktail -iters 200
+//
+// Models: resnet, maskrcnn, bert, gpt, squad.
+// Optimizers: kfac (eigendecomposition), kfac-cholesky (KAISA implicit
+// inversion), sgd.
+// Compressors: none, compso, qsgd8, qsgd4, sz, cocktail.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/opt"
+	"compso/internal/train"
+)
+
+func main() {
+	model := flag.String("model", "resnet", "proxy model: resnet, maskrcnn, bert, gpt, squad")
+	optimizer := flag.String("optimizer", "kfac", "optimizer: kfac, kfac-cholesky, or sgd")
+	compressor := flag.String("compressor", "compso", "compressor: none, compso, qsgd8, qsgd4, sz, cocktail")
+	gpus := flag.Int("gpus", 4, "simulated GPU count")
+	iters := flag.Int("iters", 120, "training iterations")
+	seed := flag.Int64("seed", 42, "seed for model init, data and stochastic rounding")
+	platform := flag.Int("platform", 1, "simulated platform: 1 (Slingshot-10) or 2 (Slingshot-11)")
+	aggM := flag.Int("agg", 4, "layer aggregation factor")
+	flag.Parse()
+
+	builders := map[string]func(rng *rand.Rand) *modelzoo.ProxyTask{
+		"resnet":   func(rng *rand.Rand) *modelzoo.ProxyTask { return modelzoo.ProxyResNet(rng, *seed) },
+		"maskrcnn": func(rng *rand.Rand) *modelzoo.ProxyTask { return modelzoo.ProxyMaskRCNN(rng, *seed) },
+		"bert":     func(rng *rand.Rand) *modelzoo.ProxyTask { return modelzoo.ProxyBERT(rng, *seed) },
+		"gpt":      func(rng *rand.Rand) *modelzoo.ProxyTask { return modelzoo.ProxyGPT(rng, *seed) },
+		"squad": func(rng *rand.Rand) *modelzoo.ProxyTask {
+			task, _ := modelzoo.ProxySQuAD(rng, *seed)
+			return task
+		},
+	}
+	builder, ok := builders[*model]
+	if !ok {
+		fail("unknown model %q", *model)
+	}
+
+	sched := opt.Schedule(&opt.StepLR{BaseLR: 0.03, Drops: []int{*iters * 2 / 3}, Gamma: 0.1})
+	if *model == "bert" || *model == "gpt" || *model == "squad" {
+		sched = &opt.SmoothLR{BaseLR: 0.02, MinLR: 0.002, Warmup: *iters / 20, Total: *iters}
+	}
+
+	cfg := train.Config{
+		BuildTask:    builder,
+		Workers:      *gpus,
+		Platform:     cluster.Platform1(),
+		Iters:        *iters,
+		Seed:         *seed,
+		Schedule:     sched,
+		UseKFAC:      *optimizer == "kfac" || *optimizer == "kfac-cholesky",
+		KFAC:         kfac.DefaultConfig(),
+		StatFreq:     1,
+		AggregationM: *aggM,
+	}
+	if *platform == 2 {
+		cfg.Platform = cluster.Platform2()
+	}
+	if *optimizer == "kfac-cholesky" {
+		cfg.KFAC.Inversion = kfac.CholeskyInverse
+	}
+	switch *compressor {
+	case "none":
+	case "compso":
+		cfg.NewCompressor = func(rank int) compress.Compressor { return compso.NewCompressor(nil, rank, *seed) }
+		cfg.Controller = compso.DefaultController(sched, *iters)
+	case "qsgd8":
+		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewQSGD(8, *seed+int64(rank)) }
+	case "qsgd4":
+		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewQSGD(4, *seed+int64(rank)) }
+	case "sz":
+		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewSZ(4e-3) }
+	case "cocktail":
+		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewCocktailSGD(0.2, 8, *seed+int64(rank)) }
+	default:
+		fail("unknown compressor %q", *compressor)
+	}
+
+	res, err := train.Run(cfg)
+	if err != nil {
+		fail("training failed: %v", err)
+	}
+
+	fmt.Printf("model=%s optimizer=%s compressor=%s gpus=%d iters=%d\n\n",
+		*model, *optimizer, *compressor, *gpus, *iters)
+	fmt.Println("iter    loss        accuracy")
+	for i, it := range res.Iterations {
+		acc := "-"
+		if len(res.Accuracies) > i && res.Accuracies[i] >= 0 {
+			acc = fmt.Sprintf("%.2f%%", 100*res.Accuracies[i])
+		}
+		fmt.Printf("%-7d %-11.4f %s\n", it, res.Losses[i], acc)
+	}
+	if res.MeanCR > 0 {
+		fmt.Printf("\nmean compression ratio: %.1fx\n", res.MeanCR)
+	}
+	fmt.Println("\nsimulated communication seconds per worker (whole run):")
+	keys := make([]string, 0, len(res.CommSeconds))
+	for k := range res.CommSeconds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-18s %.4fs\n", k, res.CommSeconds[k])
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

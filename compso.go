@@ -1,0 +1,211 @@
+// Package compso is the public facade of the COMPSO reproduction: gradient
+// compression for distributed training with second-order (K-FAC)
+// optimizers, after Sun et al., PPoPP '25.
+//
+// The heart of the library is the COMPSO compressor — an error-bounded
+// filter + stochastic-rounding quantizer + lossless encoder pipeline for
+// K-FAC preconditioned gradients — together with the adaptive machinery
+// around it: the iteration-wise error-bound controller that follows the
+// learning-rate schedule, the layer-wise aggregation driven by a
+// performance model, and a simulated multi-GPU cluster for end-to-end
+// distributed K-FAC training.
+//
+// Quick start:
+//
+//	c := compso.NewCompressor(1234) // COMPSO with default bounds + ANS
+//	blob, err := c.Compress(gradient)
+//	...
+//	restored, err := c.Decompress(blob)
+//
+// For distributed training, see Train and the examples/ directory; for
+// regenerating the paper's tables and figures, see cmd/compso-bench.
+package compso
+
+import (
+	"io"
+	"math/rand/v2"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	internalcompso "compso/internal/compso"
+	"compso/internal/encoding"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/nn"
+	"compso/internal/opt"
+	"compso/internal/perfmodel"
+	"compso/internal/train"
+)
+
+// Compressor lossily compresses float32 gradient vectors. All compressors
+// in this package produce self-describing buffers and validate their input
+// on decompression.
+type Compressor = compress.Compressor
+
+// COMPSO is the paper's compressor with tunable filter/quantizer error
+// bounds and a pluggable lossless back-end codec.
+type COMPSO = compress.COMPSO
+
+// Codec is a lossless back-end encoder (see Codecs for the Table 2 set).
+type Codec = encoding.Codec
+
+// Controller is the iteration-wise adaptive error-bound schedule
+// (Algorithm 1 of the paper).
+type Controller = internalcompso.Controller
+
+// Strategy is one iteration's compression setting.
+type Strategy = internalcompso.Strategy
+
+// Platform describes a simulated cluster interconnect.
+type Platform = cluster.Config
+
+// Schedule is a learning-rate schedule (StepLR or SmoothLR).
+type Schedule = opt.Schedule
+
+// StepLR decays the learning rate at fixed iterations.
+type StepLR = opt.StepLR
+
+// SmoothLR is warmup plus cosine decay.
+type SmoothLR = opt.SmoothLR
+
+// TrainConfig configures a distributed training run on the simulated
+// cluster.
+type TrainConfig = train.Config
+
+// TrainResult is a training run's log.
+type TrainResult = train.Result
+
+// KFACConfig holds the K-FAC optimizer hyper-parameters.
+type KFACConfig = kfac.Config
+
+// ProxyTask couples a trainable proxy model with its dataset and loss.
+type ProxyTask = modelzoo.ProxyTask
+
+// ModelProfile describes one of the paper's evaluation models (layer
+// shapes, gradient sizes, compute model).
+type ModelProfile = modelzoo.Profile
+
+// LookupTable is the performance model's offline communication-throughput
+// table (§4.4).
+type LookupTable = perfmodel.LookupTable
+
+// OnlineProfile is the performance model's warmup measurement input.
+type OnlineProfile = perfmodel.OnlineProfile
+
+// NewCompressor returns a COMPSO compressor with the paper's default
+// configuration (filter+SR at eb 4e-3, ANS back-end) and a deterministic
+// stochastic-rounding stream derived from seed.
+func NewCompressor(seed int64) *COMPSO { return compress.NewCOMPSO(seed) }
+
+// NewQSGD returns the QSGD baseline compressor (fixed-bit SR quantization
+// with Elias-gamma coding).
+func NewQSGD(bitWidth int, seed int64) Compressor { return compress.NewQSGD(bitWidth, seed) }
+
+// NewSZ returns the SZ/cuSZ baseline compressor (Lorenzo prediction,
+// RN quantization, Huffman coding) with a range-relative error bound.
+func NewSZ(relErrorBound float64) Compressor { return compress.NewSZ(relErrorBound) }
+
+// NewCocktailSGD returns the CocktailSGD baseline compressor (top-k
+// sparsification plus fixed-bit SR quantization).
+func NewCocktailSGD(keepFraction float64, bitWidth int, seed int64) Compressor {
+	return compress.NewCocktailSGD(keepFraction, bitWidth, seed)
+}
+
+// NewController returns the paper's default iteration-wise adaptive
+// controller for the given schedule and iteration budget.
+func NewController(schedule Schedule, totalIters int) *Controller {
+	return internalcompso.DefaultController(schedule, totalIters)
+}
+
+// Codecs returns the Table 2 lossless encoder set (ANS, Bitcomp, Cascaded,
+// Deflate, Gdeflate, LZ4, Snappy, Zstd).
+func Codecs() []Codec { return encoding.All() }
+
+// CodecByName looks up a lossless encoder by its registry name.
+func CodecByName(name string) (Codec, error) { return encoding.ByName(name) }
+
+// Platform1 and Platform2 return the paper's two evaluation clusters
+// (Slingshot-10 and Slingshot-11, four A100-class GPUs per node).
+func Platform1() Platform { return cluster.Platform1() }
+
+// Platform2 returns the Slingshot-11 platform.
+func Platform2() Platform { return cluster.Platform2() }
+
+// DefaultKFAC returns the K-FAC configuration used across the experiments.
+func DefaultKFAC() KFACConfig { return kfac.DefaultConfig() }
+
+// Train runs a distributed (simulated) training job and returns rank 0's
+// log.
+func Train(cfg TrainConfig) (*TrainResult, error) { return train.Run(cfg) }
+
+// Models returns the paper's four evaluation model profiles.
+func Models() []ModelProfile { return modelzoo.All() }
+
+// ModelByName looks up an evaluation model profile.
+func ModelByName(name string) (ModelProfile, error) { return modelzoo.ByName(name) }
+
+// Proxy builders for the trainable stand-ins used by the convergence
+// experiments.
+var (
+	ProxyResNet   = modelzoo.ProxyResNet
+	ProxyMaskRCNN = modelzoo.ProxyMaskRCNN
+	ProxyBERT     = modelzoo.ProxyBERT
+	ProxyGPT      = modelzoo.ProxyGPT
+	ProxySQuAD    = modelzoo.ProxySQuAD
+)
+
+// BuildLookupTable benchmarks a platform's all-gather offline and returns
+// the performance model's throughput table (§4.4).
+func BuildLookupTable(p Platform, gpuCounts []int) (*LookupTable, error) {
+	return perfmodel.BuildLookupTable(p, gpuCounts)
+}
+
+// EndToEndSpeedup projects the iteration speedup from a communication
+// speedup s at communication fraction r: ((1−r) + r/s)⁻¹.
+func EndToEndSpeedup(r, s float64) float64 { return perfmodel.EndToEnd(r, s) }
+
+// Ratio returns the compression ratio for n float32 values compressed into
+// the given buffer.
+func Ratio(n int, compressed []byte) float64 { return compress.Ratio(n, compressed) }
+
+// NewRand returns the deterministic RNG used across the library, for
+// callers building proxy tasks.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), uint64(seed)*0x9e3779b97f4a7c15+1))
+}
+
+// TuneResult is the outcome of the automatic error-bound search.
+type TuneResult = internalcompso.TuneResult
+
+// TuneBounds implements the paper's future-work bound optimization: it
+// finds the largest error bound whose compressed round trip keeps the
+// gradient-direction cosine at or above target. lo and hi bracket the
+// search.
+func TuneBounds(sample []float32, targetCosine, lo, hi float64, seed int64) (TuneResult, error) {
+	return internalcompso.TuneBounds(sample, targetCosine, lo, hi, seed)
+}
+
+// CosineSimilarity returns the cosine between two gradients — the fidelity
+// metric the tuner optimizes.
+func CosineSimilarity(a, b []float32) float64 { return internalcompso.CosineSimilarity(a, b) }
+
+// NewErrorFeedback wraps a compressor with the error-feedback mechanism
+// (the residual-carrying alternative discussed in §6 of the paper, which
+// COMPSO itself avoids to save gradient-sized memory).
+func NewErrorFeedback(inner Compressor) *compress.ErrorFeedback {
+	return compress.NewErrorFeedback(inner)
+}
+
+// SaveModel serializes a model's parameters to w; LoadModel restores them
+// into an identically constructed model.
+func SaveModel(model *nn.Sequential, w io.Writer) error { return nn.Save(model, w) }
+
+// LoadModel restores parameters saved by SaveModel.
+func LoadModel(model *nn.Sequential, r io.Reader) error { return nn.Load(model, r) }
+
+// NewShampoo returns the Shampoo second-order optimizer over the model's
+// matrix parameters — an alternative preconditioner whose gradients COMPSO
+// compresses identically to K-FAC's.
+func NewShampoo(model *nn.Sequential, epsilon float64, updateFreq int) *kfac.Shampoo {
+	return kfac.NewShampoo(model, epsilon, updateFreq)
+}

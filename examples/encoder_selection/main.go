@@ -1,0 +1,105 @@
+// Encoder selection example: run the §4.4 performance model end to end —
+// measure every lossless back-end on BERT-large-profile K-FAC gradients,
+// build the offline communication lookup table, and let the model pick the
+// encoder and the layer-aggregation factor.
+//
+// Run with:
+//
+//	go run ./examples/encoder_selection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"compso"
+	"compso/internal/perfmodel"
+	"compso/internal/xrand"
+)
+
+func main() {
+	profile, err := compso.ModelByName("BERT-large")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Online half: profile each encoder on real(istic) gradient data, as
+	// the paper does during the first k warmup iterations.
+	rng := xrand.NewSeeded(99)
+	sample := profile.SyntheticGradient(rng, 4, 1<<20) // one FFN layer's worth
+	fmt.Printf("profiling %d encoders on %d gradient values...\n\n", len(compso.Codecs()), len(sample))
+
+	var measurements []perfmodel.EncoderMeasurement
+	fmt.Printf("%-10s %-8s %-12s %-12s\n", "encoder", "CR", "comp MB/s", "decomp MB/s")
+	for _, codec := range compso.Codecs() {
+		c := compso.NewCompressor(7)
+		c.Codec = codec
+		start := time.Now()
+		blob, err := c.Compress(sample)
+		if err != nil {
+			log.Fatal(err)
+		}
+		compSec := time.Since(start).Seconds()
+		start = time.Now()
+		if _, err := c.Decompress(blob); err != nil {
+			log.Fatal(err)
+		}
+		decompSec := time.Since(start).Seconds()
+		mb := float64(4*len(sample)) / 1e6
+		m := perfmodel.EncoderMeasurement{
+			Name:             codec.Name(),
+			CompressionRatio: compso.Ratio(len(sample), blob),
+			CompressBps:      mb / compSec * 1e6,
+			DecompressBps:    mb / decompSec * 1e6,
+		}
+		measurements = append(measurements, m)
+		fmt.Printf("%-10s %-8.1f %-12.0f %-12.0f\n", m.Name, m.CompressionRatio,
+			m.CompressBps/1e6, m.DecompressBps/1e6)
+	}
+
+	// The selection decision trades ratio against GPU-scale encoder speed;
+	// our Go measurements preserve the encoders' relative speeds but run at
+	// CPU scale, so rescale them with one common factor anchoring ANS to
+	// its published A100 throughput (43.52 GB/s, Table 2 of the paper).
+	for i := range measurements {
+		if measurements[i].Name == "ANS" {
+			factor := 43.52e9 / measurements[i].CompressBps
+			for j := range measurements {
+				measurements[j].CompressBps *= factor
+				measurements[j].DecompressBps *= factor
+			}
+			break
+		}
+	}
+
+	// Offline half: the platform lookup table.
+	lt, err := compso.BuildLookupTable(compso.Platform1(), []int{8, 16, 32, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The decision: owned-layer sizes for rank 0 of a 64-GPU job.
+	var layerBytes []int
+	for li := 0; li < len(profile.Layers); li += 64 {
+		layerBytes = append(layerBytes, 4*profile.Layers[li].Params())
+	}
+	best, err := lt.SelectEncoder(layerBytes, 64, 4, 0.35, measurements)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nperformance model selects: %s\n", best.Name)
+
+	prof := perfmodel.OnlineProfile{
+		CompressionRatio: best.CompressionRatio,
+		CompressBps:      best.CompressBps,
+		DecompressBps:    best.DecompressBps,
+		CommRatio:        0.35,
+	}
+	m, gain, err := lt.BestAggregation(layerBytes, 64, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best layer-aggregation factor m = %d\n", m)
+	fmt.Printf("projected end-to-end speedup: %.2fx\n", gain)
+}

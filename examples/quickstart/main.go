@@ -1,0 +1,66 @@
+// Quickstart: compress and restore a K-FAC gradient with COMPSO.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"compso"
+)
+
+func main() {
+	// A synthetic K-FAC preconditioned gradient: most values near zero,
+	// a heavy tail of large ones — the distribution COMPSO's filter+SR
+	// pipeline is built for.
+	rng := compso.NewRand(1)
+	gradient := make([]float32, 1<<20)
+	for i := range gradient {
+		switch {
+		case rng.Float64() < 0.85:
+			gradient[i] = float32(rng.NormFloat64() * 0.0015)
+		case rng.Float64() < 0.9:
+			gradient[i] = float32(rng.NormFloat64() * 0.12)
+		default:
+			gradient[i] = float32(rng.NormFloat64() * 0.04)
+		}
+	}
+
+	// COMPSO with the paper's defaults: filter bound 4e-3, stochastic
+	// rounding bound 4e-3, ANS back-end encoder.
+	c := compso.NewCompressor(42)
+	blob, err := c.Compress(gradient)
+	if err != nil {
+		log.Fatal(err)
+	}
+	restored, err := c.Decompress(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var maxErr float64
+	for i := range gradient {
+		if e := math.Abs(float64(restored[i] - gradient[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("original:          %d bytes\n", 4*len(gradient))
+	fmt.Printf("compressed:        %d bytes\n", len(blob))
+	fmt.Printf("compression ratio: %.1fx\n", compso.Ratio(len(gradient), blob))
+	fmt.Printf("max abs error:     %.2e (bound %.2e)\n", maxErr, c.MaxError())
+
+	// Tighter bounds trade ratio for fidelity; looser bounds the reverse.
+	for _, eb := range []float64{1e-2, 4e-3, 1e-3} {
+		c := compso.NewCompressor(42)
+		c.EBFilter, c.EBQuant = eb, eb
+		blob, err := c.Compress(gradient)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("eb=%.0e -> ratio %.1fx\n", eb, compso.Ratio(len(gradient), blob))
+	}
+}

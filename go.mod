@@ -1,0 +1,3 @@
+module compso
+
+go 1.23

@@ -1,0 +1,153 @@
+// Package bitstream implements the LSB-first bit-level I/O that COMPSO's
+// variable-width quantized-value packing relies on (§4.3: "packing bits into
+// bytes based on the specified error bound", e.g. 7-bit codes for a 100-bin
+// quantizer instead of QSGD's fixed 8-bit codes).
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortBuffer is returned by Reader when a read runs past the end of the
+// underlying byte slice.
+var ErrShortBuffer = errors.New("bitstream: read past end of buffer")
+
+// Writer accumulates bits LSB-first into a growing byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  uint64 // bit accumulator, low bits valid
+	nCur uint   // number of valid bits in cur (< 8 after flushes)
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBits appends the low width bits of v (width in 0..64).
+// It panics if width is out of range.
+func (w *Writer) WriteBits(v uint64, width uint) {
+	if width > 64 {
+		panic(fmt.Sprintf("bitstream: width %d > 64", width))
+	}
+	if width == 0 {
+		return
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	if w.nCur+width > 64 {
+		// The accumulator cannot hold all bits at once; emit the low part
+		// that fits, then the remainder.
+		low := 64 - w.nCur
+		w.writeSmall(v&((1<<low)-1), low)
+		w.writeSmall(v>>low, width-low)
+		return
+	}
+	w.writeSmall(v, width)
+}
+
+// writeSmall appends width bits with the invariant nCur+width <= 64.
+func (w *Writer) writeSmall(v uint64, width uint) {
+	w.cur |= v << w.nCur
+	w.nCur += width
+	for w.nCur >= 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur >>= 8
+		w.nCur -= 8
+	}
+}
+
+// WriteBit appends one bit (0 or 1).
+func (w *Writer) WriteBit(b uint64) { w.WriteBits(b&1, 1) }
+
+// WriteUvarint appends v using unsigned LEB128 varint coding on the bit
+// stream's byte boundary semantics (7 value bits + continuation bit).
+func (w *Writer) WriteUvarint(v uint64) {
+	for v >= 0x80 {
+		w.WriteBits(v&0x7f|0x80, 8)
+		v >>= 7
+	}
+	w.WriteBits(v, 8)
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the underlying
+// buffer. The Writer remains usable; further writes continue after the
+// padding, so call Bytes only once when finishing a stream.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur = 0
+		w.nCur = 0
+	}
+	return w.buf
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Reader consumes bits LSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	cur  uint64 // bit accumulator
+	nCur uint   // valid bits in cur
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// ReadBits reads width bits (0..57) and returns them in the low bits of the
+// result. Reading past the end returns ErrShortBuffer.
+//
+// The width limit of 57 keeps the refill logic single-step; all users in
+// this repository need at most 32 bits per symbol.
+func (r *Reader) ReadBits(width uint) (uint64, error) {
+	if width > 57 {
+		return 0, fmt.Errorf("bitstream: ReadBits width %d > 57", width)
+	}
+	for r.nCur < width {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortBuffer
+		}
+		r.cur |= uint64(r.buf[r.pos]) << r.nCur
+		r.pos++
+		r.nCur += 8
+	}
+	var v uint64
+	if width == 0 {
+		return 0, nil
+	}
+	v = r.cur & ((1 << width) - 1)
+	r.cur >>= width
+	r.nCur -= width
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint64, error) { return r.ReadBits(1) }
+
+// ReadUvarint reads a value written by WriteUvarint.
+func (r *Reader) ReadUvarint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		b, err := r.ReadBits(8)
+		if err != nil {
+			return 0, err
+		}
+		v |= (b & 0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("bitstream: uvarint overflows 64 bits")
+		}
+	}
+}
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return (len(r.buf)-r.pos)*8 + int(r.nCur) }

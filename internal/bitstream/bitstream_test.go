@@ -1,0 +1,188 @@
+package bitstream
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripFixedWidths(t *testing.T) {
+	w := NewWriter(16)
+	values := []uint64{1, 0, 5, 100, 127, 1 << 20, 0xdeadbeef}
+	widths := []uint{1, 1, 3, 7, 7, 21, 32}
+	for i, v := range values {
+		w.WriteBits(v, widths[i])
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range values {
+		got, err := r.ReadBits(widths[i])
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("read %d = %d, want %d (width %d)", i, got, want, widths[i])
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xff, 4) // only low 4 bits should be kept
+	w.WriteBits(0, 4)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x0f {
+		t.Fatalf("got %#x, want 0x0f", got)
+	}
+}
+
+func TestZeroWidthIsNoop(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(123, 0)
+	w.WriteBits(1, 1)
+	if got := w.BitLen(); got != 1 {
+		t.Fatalf("BitLen = %d, want 1", got)
+	}
+}
+
+func TestWidth64AcrossAccumulatorBoundary(t *testing.T) {
+	// Writing a 64-bit value with a misaligned accumulator exercises the
+	// split path in WriteBits.
+	w := NewWriter(32)
+	w.WriteBits(0b101, 3)
+	const big = uint64(0xfedcba9876543210)
+	w.WriteBits(big, 64)
+	w.WriteBits(0b11, 2)
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Fatalf("prefix = %b", v)
+	}
+	lo, err := r.ReadBits(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := r.ReadBits(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lo | hi<<32; got != big {
+		t.Fatalf("64-bit value = %#x, want %#x", got, big)
+	}
+	if v, _ := r.ReadBits(2); v != 0b11 {
+		t.Fatalf("suffix = %b", v)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xab})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", err)
+	}
+}
+
+func TestReadBitsWidthTooLarge(t *testing.T) {
+	r := NewReader(make([]byte, 16))
+	if _, err := r.ReadBits(58); err == nil {
+		t.Fatal("ReadBits(58) succeeded")
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	w := NewWriter(64)
+	values := []uint64{0, 1, 127, 128, 300, 1 << 14, 1 << 35, ^uint64(0)}
+	for _, v := range values {
+		w.WriteUvarint(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range values {
+		got, err := r.ReadUvarint()
+		if err != nil {
+			t.Fatalf("uvarint %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("uvarint %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitLenAndRemaining(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0, 13)
+	if got := w.BitLen(); got != 13 {
+		t.Fatalf("BitLen = %d, want 13", got)
+	}
+	r := NewReader(w.Bytes())
+	if got := r.Remaining(); got != 16 { // padded to 2 bytes
+		t.Fatalf("Remaining = %d, want 16", got)
+	}
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Remaining(); got != 11 {
+		t.Fatalf("Remaining after read = %d, want 11", got)
+	}
+}
+
+// TestRoundTripProperty writes random (value, width) pairs and verifies an
+// exact round trip, covering accumulator boundaries with every mix of
+// widths.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		count := int(n%64) + 1
+		values := make([]uint64, count)
+		widths := make([]uint, count)
+		w := NewWriter(count)
+		for i := range values {
+			widths[i] = uint(rng.IntN(57)) + 1
+			values[i] = rng.Uint64() & ((1 << widths[i]) - 1)
+			w.WriteBits(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range values {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits7(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(1 << 13)
+		for j := 0; j < 8192; j++ {
+			w.WriteBits(uint64(j)&0x7f, 7)
+		}
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkReadBits7(b *testing.B) {
+	w := NewWriter(1 << 13)
+	for j := 0; j < 8192; j++ {
+		w.WriteBits(uint64(j)&0x7f, 7)
+	}
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		for j := 0; j < 8192; j++ {
+			if _, err := r.ReadBits(7); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Cluster executes an SPMD function on P simulated workers (goroutines).
+// Collectives exchange real data and advance every participant's simulated
+// clock by the cost model's estimate. Workers must issue collectives in
+// identical order (the SPMD contract).
+type Cluster struct {
+	cfg Config
+	p   int
+	rv  *rendezvous
+}
+
+// New creates a cluster of p workers on the given platform. It panics on an
+// invalid configuration, which is a programming error in experiment setup.
+func New(cfg Config, p int) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if p <= 0 {
+		panic(fmt.Sprintf("cluster: %d workers", p))
+	}
+	return &Cluster{cfg: cfg, p: p, rv: newRendezvous(p)}
+}
+
+// Config returns the platform configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Size returns the number of workers.
+func (c *Cluster) Size() int { return c.p }
+
+// Run executes fn on every worker concurrently and blocks until all
+// return. It returns the workers in rank order for post-run inspection
+// (simulated time, per-category stats).
+func (c *Cluster) Run(fn func(w *Worker)) []*Worker {
+	workers := make([]*Worker, c.p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < c.p; rank++ {
+		workers[rank] = &Worker{cluster: c, rank: rank, stats: make(map[string]float64)}
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			fn(w)
+		}(workers[rank])
+	}
+	wg.Wait()
+	return workers
+}
+
+// Worker is one simulated GPU. Methods must be called only from the
+// goroutine Run assigned to it.
+type Worker struct {
+	cluster *Cluster
+	rank    int
+	simTime float64
+	stats   map[string]float64
+}
+
+// Rank returns the worker's 0-based rank.
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the world size.
+func (w *Worker) Size() int { return w.cluster.p }
+
+// Time returns the worker's simulated clock in seconds.
+func (w *Worker) Time() float64 { return w.simTime }
+
+// Stats returns the accumulated per-category simulated seconds. The map is
+// live; read it only after Run returns.
+func (w *Worker) Stats() map[string]float64 { return w.stats }
+
+// Compute advances the simulated clock by the given seconds under the
+// category label (e.g. "forward-backward", "kfac-compute", "compress").
+func (w *Worker) Compute(seconds float64, category string) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("cluster: negative compute time %g", seconds))
+	}
+	w.simTime += seconds
+	w.stats[category] += seconds
+}
+
+// account charges a communication interval ending at tEnd to a category:
+// the worker was blocked from its local time until the collective finished.
+func (w *Worker) account(tEnd float64, category string) {
+	if tEnd > w.simTime {
+		w.stats[category] += tEnd - w.simTime
+		w.simTime = tEnd
+	}
+}
+
+// AllReduce sums data element-wise across all workers in place (averaging
+// is the caller's choice) and charges a ring all-reduce of 4·len bytes
+// (FP32 on the wire) to the category.
+func (w *Worker) AllReduce(data []float64, category string) {
+	c := w.cluster
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) (any, float64) {
+		first := slots[0].([]float64)
+		sum := make([]float64, len(first))
+		for _, s := range slots {
+			vec := s.([]float64)
+			if len(vec) != len(sum) {
+				panic(fmt.Sprintf("cluster: AllReduce length mismatch %d vs %d", len(vec), len(sum)))
+			}
+			for i, v := range vec {
+				sum[i] += v
+			}
+		}
+		start := maxOf(times)
+		return sum, start + c.cfg.AllReduceTime(4*len(sum), c.p)
+	})
+	copy(data, res.([]float64))
+	w.account(tEnd, category)
+}
+
+// AllGather exchanges each worker's byte payload (which may be empty) and
+// returns all payloads in rank order. The time charge models a ring
+// all-gather with the actual per-worker sizes — this is the collective
+// COMPSO compresses.
+func (w *Worker) AllGather(payload []byte, category string) [][]byte {
+	c := w.cluster
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) (any, float64) {
+		out := make([][]byte, len(slots))
+		sizes := make([]int, len(slots))
+		for i, s := range slots {
+			out[i] = s.([]byte)
+			sizes[i] = len(out[i])
+		}
+		start := maxOf(times)
+		return out, start + c.cfg.AllGatherVarTime(sizes, c.p)
+	})
+	w.account(tEnd, category)
+	return res.([][]byte)
+}
+
+// Broadcast sends root's payload to every worker, charging a binomial-tree
+// broadcast.
+func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
+	c := w.cluster
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) (any, float64) {
+		data := slots[root].([]byte)
+		start := maxOf(times)
+		return data, start + c.cfg.BroadcastTime(len(data), c.p)
+	})
+	w.account(tEnd, category)
+	return res.([]byte)
+}
+
+// ReduceScatter sums data element-wise across workers and returns this
+// worker's 1/P shard of the result (rank r receives elements
+// [r·n/P, (r+1)·n/P) of the sum, with the last rank absorbing the
+// remainder). The time charge models a ring reduce-scatter.
+func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
+	c := w.cluster
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) (any, float64) {
+		first := slots[0].([]float64)
+		sum := make([]float64, len(first))
+		for _, s := range slots {
+			vec := s.([]float64)
+			if len(vec) != len(sum) {
+				panic(fmt.Sprintf("cluster: ReduceScatter length mismatch %d vs %d", len(vec), len(sum)))
+			}
+			for i, v := range vec {
+				sum[i] += v
+			}
+		}
+		start := maxOf(times)
+		return sum, start + c.cfg.ReduceScatterTime(4*len(sum), c.p)
+	})
+	w.account(tEnd, category)
+	sum := res.([]float64)
+	shard := len(sum) / c.p
+	lo := w.rank * shard
+	hi := lo + shard
+	if w.rank == c.p-1 {
+		hi = len(sum)
+	}
+	return sum[lo:hi]
+}
+
+// Barrier synchronizes all workers' clocks to the maximum.
+func (w *Worker) Barrier() {
+	_, tEnd := w.cluster.rv.exchange(w.rank, w.simTime, nil, func(_ []any, times []float64) (any, float64) {
+		return nil, maxOf(times)
+	})
+	w.account(tEnd, "barrier")
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MergeStats sums per-category stats across workers and returns them with
+// the sorted category list, for experiment reporting.
+func MergeStats(workers []*Worker) (map[string]float64, []string) {
+	merged := make(map[string]float64)
+	for _, w := range workers {
+		for k, v := range w.stats {
+			merged[k] += v
+		}
+	}
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return merged, keys
+}
+
+// rendezvous is a reusable payload-carrying barrier: all P workers arrive
+// with a payload, the last arriver runs the combine function, everyone
+// leaves with the result. A round cannot begin until the previous round has
+// fully drained, which is what makes back-to-back collectives safe.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	leaving int
+	gen     uint64
+	slots   []any
+	times   []float64
+	result  any
+	tEnd    float64
+}
+
+func newRendezvous(n int) *rendezvous {
+	r := &rendezvous{n: n, slots: make([]any, n), times: make([]float64, n)}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+func (r *rendezvous) exchange(rank int, t float64, payload any,
+	combine func(slots []any, times []float64) (any, float64)) (any, float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.leaving > 0 {
+		r.cond.Wait()
+	}
+	r.slots[rank] = payload
+	r.times[rank] = t
+	r.arrived++
+	gen := r.gen
+	if r.arrived == r.n {
+		r.result, r.tEnd = combine(r.slots, r.times)
+		r.arrived = 0
+		r.leaving = r.n
+		r.gen++
+		r.cond.Broadcast()
+	} else {
+		for gen == r.gen {
+			r.cond.Wait()
+		}
+	}
+	res, tEnd := r.result, r.tEnd
+	r.leaving--
+	if r.leaving == 0 {
+		r.cond.Broadcast()
+	}
+	return res, tEnd
+}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func tinyConfig() Config {
+	return Config{Name: "test", GPUsPerNode: 2, IntraBW: 1e9, InterBW: 1e8,
+		IntraLatency: 1e-6, InterLatency: 1e-5}
+}
+
+func TestPlatformConfigsValid(t *testing.T) {
+	for _, cfg := range []Config{Platform1(), Platform2()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+	}
+	if Platform2().InterBW <= Platform1().InterBW {
+		t.Fatal("Platform2 should have more inter-node bandwidth")
+	}
+}
+
+func TestEffectiveBandwidthHierarchy(t *testing.T) {
+	cfg := tinyConfig()
+	if got := cfg.EffectiveBandwidth(2); got != cfg.IntraBW {
+		t.Fatalf("intra-node BW = %g, want %g", got, cfg.IntraBW)
+	}
+	if got := cfg.EffectiveBandwidth(4); got != cfg.InterBW/2 {
+		t.Fatalf("inter-node BW = %g, want %g", got, cfg.InterBW/2)
+	}
+}
+
+func TestCollectiveCostsScale(t *testing.T) {
+	cfg := Platform1()
+	// More bytes → more time; more workers → more time (for fixed chunk).
+	if cfg.AllReduceTime(1<<20, 8) >= cfg.AllReduceTime(1<<24, 8) {
+		t.Fatal("AllReduceTime not increasing in bytes")
+	}
+	if cfg.AllGatherTime(1<<20, 8) >= cfg.AllGatherTime(1<<20, 64) {
+		t.Fatal("AllGatherTime not increasing in workers")
+	}
+	if cfg.AllReduceTime(1<<20, 1) != 0 || cfg.AllGatherTime(1<<20, 1) != 0 {
+		t.Fatal("single-worker collectives should be free")
+	}
+	// Platform2's faster network must beat Platform1 beyond one node.
+	if Platform2().AllGatherTime(1<<24, 32) >= Platform1().AllGatherTime(1<<24, 32) {
+		t.Fatal("Platform2 not faster than Platform1")
+	}
+}
+
+func TestBroadcastLogSteps(t *testing.T) {
+	cfg := tinyConfig()
+	t8 := cfg.BroadcastTime(1000, 8)
+	t64 := cfg.BroadcastTime(1000, 64)
+	// log2(64)/log2(8) = 2 exactly under the tree model.
+	if math.Abs(t64/t8-2) > 1e-9 {
+		t.Fatalf("broadcast ratio = %g, want 2", t64/t8)
+	}
+}
+
+func TestAllReduceSums(t *testing.T) {
+	c := New(tinyConfig(), 4)
+	workers := c.Run(func(w *Worker) {
+		data := []float64{float64(w.Rank()), 1}
+		w.AllReduce(data, "allreduce")
+		if data[0] != 0+1+2+3 || data[1] != 4 {
+			panic(fmt.Sprintf("rank %d: allreduce = %v", w.Rank(), data))
+		}
+	})
+	for _, w := range workers {
+		if w.Time() <= 0 {
+			t.Fatalf("rank %d: no simulated time charged", w.Rank())
+		}
+		if w.Stats()["allreduce"] <= 0 {
+			t.Fatalf("rank %d: no allreduce time", w.Rank())
+		}
+	}
+}
+
+func TestAllGatherOrdersByRank(t *testing.T) {
+	c := New(tinyConfig(), 3)
+	c.Run(func(w *Worker) {
+		payload := []byte{byte(w.Rank() * 10)}
+		got := w.AllGather(payload, "allgather")
+		if len(got) != 3 {
+			panic("wrong gather count")
+		}
+		for r, buf := range got {
+			if len(buf) != 1 || buf[0] != byte(r*10) {
+				panic(fmt.Sprintf("rank %d slot %d = %v", w.Rank(), r, buf))
+			}
+		}
+	})
+}
+
+func TestAllGatherVariableSizes(t *testing.T) {
+	c := New(tinyConfig(), 4)
+	c.Run(func(w *Worker) {
+		payload := make([]byte, (w.Rank()+1)*100)
+		got := w.AllGather(payload, "allgather")
+		for r, buf := range got {
+			if len(buf) != (r+1)*100 {
+				panic(fmt.Sprintf("slot %d has %d bytes", r, len(buf)))
+			}
+		}
+	})
+}
+
+func TestBroadcastDeliversRootPayload(t *testing.T) {
+	c := New(tinyConfig(), 4)
+	c.Run(func(w *Worker) {
+		var payload []byte
+		if w.Rank() == 2 {
+			payload = []byte("root-data")
+		}
+		got := w.Broadcast(payload, 2, "bcast")
+		if string(got) != "root-data" {
+			panic(fmt.Sprintf("rank %d got %q", w.Rank(), got))
+		}
+	})
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	c := New(tinyConfig(), 1)
+	workers := c.Run(func(w *Worker) {
+		w.Compute(1.5, "forward-backward")
+		w.Compute(0.5, "kfac-compute")
+	})
+	w := workers[0]
+	if w.Time() != 2.0 {
+		t.Fatalf("time = %g, want 2.0", w.Time())
+	}
+	if w.Stats()["forward-backward"] != 1.5 {
+		t.Fatalf("stats = %v", w.Stats())
+	}
+}
+
+func TestStragglerDominatesCollectiveStart(t *testing.T) {
+	// A collective starts when the slowest worker arrives; fast workers'
+	// wait is charged to the collective's category.
+	c := New(tinyConfig(), 2)
+	workers := c.Run(func(w *Worker) {
+		if w.Rank() == 0 {
+			w.Compute(1.0, "work")
+		}
+		w.AllReduce([]float64{1}, "allreduce")
+	})
+	t0, t1 := workers[0].Time(), workers[1].Time()
+	if math.Abs(t0-t1) > 1e-12 {
+		t.Fatalf("clocks diverged after collective: %g vs %g", t0, t1)
+	}
+	if workers[1].Stats()["allreduce"] < 1.0 {
+		t.Fatalf("fast worker's wait not charged: %v", workers[1].Stats())
+	}
+}
+
+func TestBackToBackCollectives(t *testing.T) {
+	// Stress the rendezvous drain logic with many consecutive rounds.
+	c := New(tinyConfig(), 8)
+	var total atomic.Int64
+	c.Run(func(w *Worker) {
+		for i := 0; i < 200; i++ {
+			data := []float64{1}
+			w.AllReduce(data, "ar")
+			if data[0] != 8 {
+				panic("bad sum")
+			}
+			total.Add(1)
+		}
+	})
+	if total.Load() != 1600 {
+		t.Fatalf("completed %d collectives, want 1600", total.Load())
+	}
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	c := New(tinyConfig(), 3)
+	workers := c.Run(func(w *Worker) {
+		w.Compute(float64(w.Rank()), "work")
+		w.Barrier()
+	})
+	for _, w := range workers {
+		if w.Time() != 2.0 {
+			t.Fatalf("rank %d time %g, want 2.0", w.Rank(), w.Time())
+		}
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	c := New(tinyConfig(), 2)
+	workers := c.Run(func(w *Worker) {
+		w.Compute(1, "a")
+		w.Compute(2, "b")
+	})
+	merged, keys := MergeStats(workers)
+	if merged["a"] != 2 || merged["b"] != 4 {
+		t.Fatalf("merged = %v", merged)
+	}
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{}, 2)
+}
+
+func TestReduceScatterShards(t *testing.T) {
+	c := New(tinyConfig(), 4)
+	c.Run(func(w *Worker) {
+		data := make([]float64, 10)
+		for i := range data {
+			data[i] = float64(i)
+		}
+		shard := w.ReduceScatter(data, "rs")
+		// Sum across 4 workers = 4*i; rank r gets its contiguous shard.
+		wantLen := 2
+		if w.Rank() == 3 {
+			wantLen = 4 // remainder absorbed by the last rank
+		}
+		if len(shard) != wantLen {
+			panic(fmt.Sprintf("rank %d shard length %d", w.Rank(), len(shard)))
+		}
+		base := w.Rank() * 2
+		for i, v := range shard {
+			if v != float64(4*(base+i)) {
+				panic(fmt.Sprintf("rank %d shard[%d] = %g", w.Rank(), i, v))
+			}
+		}
+	})
+}
+
+func TestReduceScatterTimeModel(t *testing.T) {
+	cfg := Platform1()
+	if cfg.ReduceScatterTime(1<<20, 1) != 0 {
+		t.Fatal("single-worker reduce-scatter should be free")
+	}
+	if cfg.ReduceScatterTime(1<<24, 64) <= cfg.ReduceScatterTime(1<<20, 64) {
+		t.Fatal("reduce-scatter time not increasing in bytes")
+	}
+	// Reduce-scatter moves half of an all-reduce's volume.
+	if cfg.ReduceScatterTime(1<<24, 64) >= cfg.AllReduceTime(1<<24, 64) {
+		t.Fatal("reduce-scatter should cost less than all-reduce")
+	}
+}

@@ -1,0 +1,174 @@
+// Package cluster simulates the multi-GPU platforms the paper evaluates
+// on. Workers run as goroutines exchanging real data through rendezvous
+// collectives, while a hierarchical α–β cost model advances a simulated
+// clock — so convergence experiments see the exact bytes a real cluster
+// would move, and performance experiments see the communication times those
+// bytes would cost on the modeled interconnect.
+package cluster
+
+import "fmt"
+
+// Config describes a platform: topology and link parameters.
+type Config struct {
+	// Name labels the platform in experiment output.
+	Name string
+	// GPUsPerNode is the number of GPUs sharing one node (and NIC).
+	GPUsPerNode int
+	// IntraBW is the per-GPU intra-node bandwidth in bytes/second
+	// (NVLink).
+	IntraBW float64
+	// InterBW is the per-node network bandwidth in bytes/second shared by
+	// the node's GPUs.
+	InterBW float64
+	// IntraLatency and InterLatency are per-message α terms in seconds.
+	IntraLatency float64
+	InterLatency float64
+	// CongestionLog degrades effective inter-node bandwidth by this
+	// fraction per doubling of the node count beyond one node, modeling
+	// switch contention at scale (which the pure α–β model misses and real
+	// all-gather micro-benchmarks show).
+	CongestionLog float64
+	// CollectiveLaunch is the fixed software cost of issuing one
+	// collective operation (NCCL/MPI launch path), paid once per
+	// collective regardless of size. It is what makes per-layer exchanges
+	// of small layers expensive and layer aggregation worthwhile (§4.4).
+	CollectiveLaunch float64
+}
+
+const gbit = 1e9 / 8 // bytes/second per Gbit/s
+
+// Platform1 models the paper's first cluster: 16 nodes of four NVLink-
+// connected A100s on Slingshot-10 (100 Gbps per node).
+func Platform1() Config {
+	return Config{
+		Name:             "Platform1 (Slingshot-10, 100 Gbps)",
+		GPUsPerNode:      4,
+		IntraBW:          300e9, // NVLink 3.0 effective per-GPU
+		InterBW:          100 * gbit,
+		IntraLatency:     2e-6,
+		InterLatency:     5e-6,
+		CongestionLog:    0.25,
+		CollectiveLaunch: 5e-5,
+	}
+}
+
+// Platform2 models the second cluster: the same GPU configuration on
+// Slingshot-11 (200 Gbps per node).
+func Platform2() Config {
+	return Config{
+		Name:             "Platform2 (Slingshot-11, 200 Gbps)",
+		GPUsPerNode:      4,
+		IntraBW:          300e9,
+		InterBW:          200 * gbit,
+		IntraLatency:     2e-6,
+		InterLatency:     5e-6,
+		CongestionLog:    0.25,
+		CollectiveLaunch: 5e-5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.GPUsPerNode <= 0 || c.IntraBW <= 0 || c.InterBW <= 0 {
+		return fmt.Errorf("cluster: invalid config %+v", c)
+	}
+	if c.IntraLatency < 0 || c.InterLatency < 0 {
+		return fmt.Errorf("cluster: negative latency in %+v", c)
+	}
+	return nil
+}
+
+// EffectiveBandwidth returns the per-GPU bottleneck bandwidth for a
+// collective spanning p workers: NVLink when the group fits in one node,
+// otherwise the NIC share (the node bandwidth divided across its GPUs,
+// which all inject into the same link in a ring schedule).
+func (c Config) EffectiveBandwidth(p int) float64 {
+	if p <= c.GPUsPerNode {
+		return c.IntraBW
+	}
+	share := c.InterBW / float64(c.GPUsPerNode)
+	if share > c.IntraBW {
+		share = c.IntraBW
+	}
+	if c.CongestionLog > 0 {
+		nodes := (p + c.GPUsPerNode - 1) / c.GPUsPerNode
+		doublings := 0.0
+		for n := 1; n < nodes; n <<= 1 {
+			doublings++
+		}
+		share /= 1 + c.CongestionLog*doublings
+	}
+	return share
+}
+
+// Latency returns the α term for a collective spanning p workers.
+func (c Config) Latency(p int) float64 {
+	if p <= c.GPUsPerNode {
+		return c.IntraLatency
+	}
+	return c.InterLatency
+}
+
+// AllReduceTime models a ring all-reduce of n bytes across p workers:
+// 2(p−1)/p · n/B + 2(p−1)·α.
+func (c Config) AllReduceTime(nBytes int, p int) float64 {
+	if p <= 1 || nBytes == 0 {
+		return 0
+	}
+	pf := float64(p)
+	return c.CollectiveLaunch + 2*(pf-1)/pf*float64(nBytes)/c.EffectiveBandwidth(p) + 2*(pf-1)*c.Latency(p)
+}
+
+// AllGatherTime models a ring all-gather where each worker contributes
+// chunkBytes and receives (p−1) chunks: (p−1)·chunk/B + (p−1)·α.
+func (c Config) AllGatherTime(chunkBytes int, p int) float64 {
+	if p <= 1 || chunkBytes == 0 {
+		return 0
+	}
+	pf := float64(p)
+	return c.CollectiveLaunch + (pf-1)*float64(chunkBytes)/c.EffectiveBandwidth(p) + (pf-1)*c.Latency(p)
+}
+
+// AllGatherVarTime models an all-gather with per-worker chunk sizes: the
+// slowest worker receives totalBytes − ownBytes.
+func (c Config) AllGatherVarTime(sizes []int, p int) float64 {
+	if p <= 1 || len(sizes) == 0 {
+		return 0
+	}
+	total := 0
+	minOwn := sizes[0]
+	for _, s := range sizes {
+		total += s
+		if s < minOwn {
+			minOwn = s
+		}
+	}
+	recv := total - minOwn
+	if recv <= 0 {
+		return 0
+	}
+	return c.CollectiveLaunch + float64(recv)/c.EffectiveBandwidth(p) + float64(p-1)*c.Latency(p)
+}
+
+// ReduceScatterTime models a ring reduce-scatter of n total bytes across p
+// workers (each ends with n/p reduced bytes): (p−1)/p · n/B + (p−1)·α.
+func (c Config) ReduceScatterTime(nBytes int, p int) float64 {
+	if p <= 1 || nBytes == 0 {
+		return 0
+	}
+	pf := float64(p)
+	return c.CollectiveLaunch + (pf-1)/pf*float64(nBytes)/c.EffectiveBandwidth(p) + (pf-1)*c.Latency(p)
+}
+
+// BroadcastTime models a binomial-tree broadcast of n bytes:
+// ceil(log2 p)·(α + n/B).
+func (c Config) BroadcastTime(nBytes int, p int) float64 {
+	if p <= 1 || nBytes == 0 {
+		return 0
+	}
+	steps := 0
+	for v := 1; v < p; v <<= 1 {
+		steps++
+	}
+	return c.CollectiveLaunch + float64(steps)*(c.Latency(p)+float64(nBytes)/c.EffectiveBandwidth(p))
+}

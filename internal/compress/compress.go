@@ -1,0 +1,84 @@
+// Package compress implements the lossy gradient compressors the paper
+// evaluates: COMPSO (the contribution — filter + stochastic rounding +
+// lossless encoding, §4.3), and the three baselines QSGD (SR quantization +
+// Elias coding), SZ (prediction + RN quantization + Huffman, the cuSZ
+// algorithm), and CocktailSGD (top-k sparsification + 8-bit SR
+// quantization). Each compressor produces a self-describing byte buffer and
+// restores a float32 vector whose pointwise error respects the compressor's
+// error-control setting.
+//
+// Compressor implementations are NOT safe for concurrent use (stochastic
+// rounding consumes a per-compressor RNG stream); create one per worker, or
+// use Chunked with a factory for data-parallel compression.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Compressor lossily compresses float32 gradient vectors.
+type Compressor interface {
+	// Name identifies the compressor in experiment output.
+	Name() string
+	// Compress encodes src. The input slice is not retained.
+	Compress(src []float32) ([]byte, error)
+	// Decompress restores a vector of the original length. It returns an
+	// error on truncated or corrupt input.
+	Decompress(data []byte) ([]float32, error)
+}
+
+// ErrCorrupt is wrapped by all decompressors on malformed input.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// Magic bytes distinguishing the compressor formats; the first header byte
+// of every compressed buffer.
+const (
+	magicQSGD     = 0x51 // 'Q'
+	magicSZ       = 0x5a // 'Z'
+	magicCocktail = 0x43 // 'C'
+	magicCOMPSO   = 0x4f // 'O'
+)
+
+// Ratio returns the compression ratio achieved for n float32 values
+// compressed into len(data) bytes (the paper's CR metric: original bytes /
+// compressed bytes).
+func Ratio(n int, data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	return float64(4*n) / float64(len(data))
+}
+
+// header is the common prefix: magic byte + uvarint element count.
+func putHeader(dst []byte, magic byte, n int) []byte {
+	dst = append(dst, magic)
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+func getHeader(src []byte, magic byte, name string) (n int, rest []byte, err error) {
+	if len(src) == 0 {
+		return 0, nil, fmt.Errorf("%w: %s: empty buffer", ErrCorrupt, name)
+	}
+	if src[0] != magic {
+		return 0, nil, fmt.Errorf("%w: %s: magic byte %#x", ErrCorrupt, name, src[0])
+	}
+	v, used := binary.Uvarint(src[1:])
+	if used <= 0 || v > 1<<31 {
+		return 0, nil, fmt.Errorf("%w: %s: bad element count", ErrCorrupt, name)
+	}
+	return int(v), src[1+used:], nil
+}
+
+func putFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+func getFloat64(src []byte, name string) (float64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, fmt.Errorf("%w: %s: truncated float", ErrCorrupt, name)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(src)), src[8:], nil
+}

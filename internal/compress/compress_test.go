@@ -1,0 +1,560 @@
+package compress
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compso/internal/encoding"
+	"compso/internal/quant"
+	"compso/internal/xrand"
+)
+
+// kfacData returns a synthetic K-FAC gradient vector.
+func kfacData(n int, seed int64) []float32 {
+	src := make([]float32, n)
+	xrand.KFACGradient(xrand.NewSeeded(seed), src, 1.0)
+	return src
+}
+
+func allCompressors() []Compressor {
+	return []Compressor{
+		NewQSGD(8, 1),
+		NewQSGD(4, 2),
+		NewSZ(4e-3),
+		NewSZ(1e-1),
+		NewCocktailSGD(0.2, 8, 3),
+		NewCOMPSO(4),
+		NewTorchQSGD(8, 5),
+		NewTorchCocktailSGD(0.2, 8, 6),
+	}
+}
+
+func TestRoundTripLengths(t *testing.T) {
+	src := kfacData(10000, 1)
+	for _, c := range allCompressors() {
+		data, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: compress: %v", c.Name(), err)
+		}
+		out, err := c.Decompress(data)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", c.Name(), err)
+		}
+		if len(out) != len(src) {
+			t.Fatalf("%s: got %d values, want %d", c.Name(), len(out), len(src))
+		}
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	for _, c := range allCompressors() {
+		for _, src := range [][]float32{{}, {0.5}, {0, 0, 0}} {
+			data, err := c.Compress(src)
+			if err != nil {
+				t.Fatalf("%s/%d: compress: %v", c.Name(), len(src), err)
+			}
+			out, err := c.Decompress(data)
+			if err != nil {
+				t.Fatalf("%s/%d: decompress: %v", c.Name(), len(src), err)
+			}
+			if len(out) != len(src) {
+				t.Fatalf("%s/%d: length %d", c.Name(), len(src), len(out))
+			}
+		}
+	}
+}
+
+func TestCOMPSOErrorBound(t *testing.T) {
+	src := kfacData(50000, 2)
+	c := NewCOMPSO(7)
+	data, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := c.MaxError()
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e > bound+1e-7 {
+			t.Fatalf("error %g at %d exceeds bound %g", e, i, bound)
+		}
+	}
+}
+
+func TestCOMPSOSROnlyMode(t *testing.T) {
+	src := kfacData(20000, 3)
+	c := NewCOMPSO(8)
+	c.FilterEnabled = false
+	c.EBQuant = 2e-3
+	data, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e > 2e-3+1e-7 {
+			t.Fatalf("SR-only error %g at %d exceeds 2e-3", e, i)
+		}
+	}
+}
+
+func TestCOMPSOFilterImprovesRatio(t *testing.T) {
+	src := kfacData(100000, 4)
+	withFilter := NewCOMPSO(9)
+	noFilter := NewCOMPSO(10)
+	noFilter.FilterEnabled = false
+	d1, err := withFilter.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := noFilter.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1) >= len(d2) {
+		t.Fatalf("filter did not help: %d vs %d bytes", len(d1), len(d2))
+	}
+}
+
+func TestCOMPSOBeatsBaselinesOnRatio(t *testing.T) {
+	// Figure 3 / §5.2: COMPSO's CR (~20x) well above accuracy-preserving
+	// QSGD-8bit and SZ-4E-3 on K-FAC gradients.
+	src := kfacData(200000, 5)
+	ratio := func(c Compressor) float64 {
+		d, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Ratio(len(src), d)
+	}
+	compso := ratio(NewCOMPSO(11))
+	qsgd8 := ratio(NewQSGD(8, 12))
+	sz := ratio(NewSZ(4e-3))
+	if compso <= qsgd8 || compso <= sz {
+		t.Fatalf("COMPSO ratio %.1f should beat QSGD-8bit %.1f and SZ-4E-3 %.1f", compso, qsgd8, sz)
+	}
+	if compso < 10 {
+		t.Fatalf("COMPSO ratio %.1f, want >= 10 on K-FAC gradients", compso)
+	}
+}
+
+func TestQSGDErrorBoundedByScale(t *testing.T) {
+	src := kfacData(20000, 6)
+	q := NewQSGD(8, 13)
+	data, err := q.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := q.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxAbs := 0.0
+	for _, v := range src {
+		if a := math.Abs(float64(v)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e > scale+1e-7 {
+			t.Fatalf("QSGD error %g at %d exceeds scale %g", e, i, scale)
+		}
+	}
+}
+
+func TestSZErrorBound(t *testing.T) {
+	src := kfacData(20000, 7)
+	var minV, maxV float64
+	for _, v := range src {
+		minV = math.Min(minV, float64(v))
+		maxV = math.Max(maxV, float64(v))
+	}
+	for _, rel := range []float64{1e-1, 4e-3} {
+		s := NewSZ(rel)
+		data, err := s.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := s.Decompress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := rel * (maxV - minV)
+		for i := range src {
+			if e := math.Abs(float64(out[i] - src[i])); e > bound*1.001+1e-6 {
+				t.Fatalf("SZ-%g error %g at %d exceeds %g", rel, e, i, bound)
+			}
+		}
+	}
+}
+
+func TestCocktailKeepsRoughlyKeepFraction(t *testing.T) {
+	src := kfacData(50000, 8)
+	c := NewCocktailSGD(0.2, 8, 14)
+	data, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, v := range out {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	frac := float64(nonzero) / float64(len(src))
+	if frac < 0.1 || frac > 0.35 {
+		t.Fatalf("kept fraction %.3f, want ~0.2", frac)
+	}
+}
+
+func TestCocktailKeepsLargestMagnitudes(t *testing.T) {
+	src := make([]float32, 1000)
+	for i := range src {
+		src[i] = 0.001
+	}
+	src[17] = 5.0
+	src[423] = -7.0
+	c := NewCocktailSGD(0.05, 8, 15)
+	data, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(out[17]-5.0)) > 0.1 || math.Abs(float64(out[423]+7.0)) > 0.1 {
+		t.Fatalf("top values lost: out[17]=%g out[423]=%g", out[17], out[423])
+	}
+}
+
+func TestDecompressWrongMagic(t *testing.T) {
+	src := kfacData(100, 9)
+	q := NewQSGD(8, 16)
+	data, err := q.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSZ(1e-2).Decompress(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-magic decompress err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecompressTruncated(t *testing.T) {
+	src := kfacData(5000, 10)
+	for _, c := range allCompressors() {
+		data, err := c.Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cut := range []int{0, 1, 5, len(data) / 2} {
+			out, err := c.Decompress(data[:cut])
+			if err == nil && len(out) == len(src) {
+				same := true
+				for i := range out {
+					if out[i] != src[i] {
+						same = false
+						break
+					}
+				}
+				if same {
+					continue
+				}
+				// A silent wrong-length or wrong-content decode is the bug.
+				t.Errorf("%s: truncation to %d decoded silently", c.Name(), cut)
+			}
+		}
+	}
+}
+
+func TestCOMPSOAllCodecs(t *testing.T) {
+	src := kfacData(20000, 11)
+	for _, codec := range encoding.All() {
+		c := NewCOMPSO(17)
+		c.Codec = codec
+		data, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		out, err := c.Decompress(data)
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		for i := range src {
+			if e := math.Abs(float64(out[i] - src[i])); e > c.MaxError()+1e-7 {
+				t.Fatalf("%s: error %g at %d", codec.Name(), e, i)
+			}
+		}
+	}
+}
+
+func TestChunkedMatchesUnchunkedSemantics(t *testing.T) {
+	src := kfacData(30000, 12)
+	ch := &Chunked{
+		New:       func(seed int64) Compressor { return NewCOMPSO(seed) },
+		ChunkSize: 4096,
+		Seed:      100,
+	}
+	data, err := ch.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ch.Decompress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(src) {
+		t.Fatalf("len %d, want %d", len(out), len(src))
+	}
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e > 4e-3+1e-7 {
+			t.Fatalf("chunked error %g at %d", e, i)
+		}
+	}
+}
+
+func TestChunkedEmptyInput(t *testing.T) {
+	ch := &Chunked{New: func(seed int64) Compressor { return NewQSGD(8, seed) }, ChunkSize: 128}
+	data, err := ch.Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ch.Decompress(data)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty chunked: %v len %d", err, len(out))
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(100, make([]byte, 40)); got != 10 {
+		t.Fatalf("Ratio = %g, want 10", got)
+	}
+	if got := Ratio(100, nil); got != 0 {
+		t.Fatalf("Ratio(empty) = %g, want 0", got)
+	}
+}
+
+func TestCOMPSOInvalidConfig(t *testing.T) {
+	c := NewCOMPSO(18)
+	c.EBQuant = 0
+	if _, err := c.Compress([]float32{1}); err == nil {
+		t.Fatal("EBQuant=0 accepted")
+	}
+	c = NewCOMPSO(19)
+	c.EBFilter = -1
+	if _, err := c.Compress([]float32{1}); err == nil {
+		t.Fatal("negative EBFilter accepted")
+	}
+}
+
+func TestSRDeterminismAcrossSeeds(t *testing.T) {
+	src := kfacData(1000, 13)
+	a, err := NewCOMPSO(42).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCOMPSO(42).Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("same seed produced different compressed sizes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different bytes")
+		}
+	}
+}
+
+func TestCOMPSORoundingModes(t *testing.T) {
+	src := kfacData(20000, 20)
+	for _, mode := range []quant.Mode{quant.RN, quant.SR, quant.P05} {
+		c := NewCOMPSO(21)
+		c.Rounding = mode
+		data, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		out, err := c.Decompress(data)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		for i := range src {
+			if e := math.Abs(float64(out[i] - src[i])); e > c.MaxError()+1e-7 {
+				t.Fatalf("%v: error %g at %d", mode, e, i)
+			}
+		}
+	}
+}
+
+func TestCOMPSOBitPackedRoundTripAndWorseRatio(t *testing.T) {
+	// The §4.3 ablation: dense bit packing round-trips but compresses
+	// worse than byte planes (packed symbols straddle byte boundaries and
+	// defeat the order-0 entropy coder).
+	src := kfacData(100000, 22)
+	planes := NewCOMPSO(23)
+	packed := NewCOMPSO(23)
+	packed.BitPacked = true
+	d1, err := planes.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := packed.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := packed.Decompress(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e > packed.MaxError()+1e-7 {
+			t.Fatalf("bit-packed error %g at %d", e, i)
+		}
+	}
+	if len(d1) >= len(d2) {
+		t.Fatalf("byte planes (%d) should beat bit packing (%d)", len(d1), len(d2))
+	}
+}
+
+func TestErrorFeedbackCompensatesRNBias(t *testing.T) {
+	// EF's defining property: with a biased compressor (RN-based SZ at a
+	// loose bound), the running sum of decompressed gradients tracks the
+	// running sum of true gradients far better with feedback than without.
+	const n, iters = 2000, 60
+	rng := xrand.NewSeeded(24)
+	plain := NewSZ(5e-2)
+	ef := NewErrorFeedback(NewSZ(5e-2))
+	var sumTrue, sumPlain, sumEF []float64
+	sumTrue = make([]float64, n)
+	sumPlain = make([]float64, n)
+	sumEF = make([]float64, n)
+	grad := make([]float32, n)
+	for it := 0; it < iters; it++ {
+		xrand.KFACGradient(rng, grad, 1.0)
+		for i, v := range grad {
+			sumTrue[i] += float64(v)
+		}
+		d1, err := plain.Compress(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o1, err := plain.Decompress(d1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := ef.Compress(grad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o2, err := ef.Decompress(d2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range grad {
+			sumPlain[i] += float64(o1[i])
+			sumEF[i] += float64(o2[i])
+		}
+	}
+	var errPlain, errEF float64
+	for i := range sumTrue {
+		dp := sumPlain[i] - sumTrue[i]
+		de := sumEF[i] - sumTrue[i]
+		errPlain += dp * dp
+		errEF += de * de
+	}
+	if errEF >= errPlain/2 {
+		t.Fatalf("EF did not reduce accumulated error: %g vs %g", errEF, errPlain)
+	}
+	if ef.ResidualNorm() <= 0 {
+		t.Fatal("EF residual empty after compression")
+	}
+	ef.Reset()
+	if ef.ResidualNorm() != 0 {
+		t.Fatal("Reset did not clear residual")
+	}
+}
+
+func TestErrorFeedbackLengthMismatch(t *testing.T) {
+	ef := NewErrorFeedback(NewQSGD(8, 25))
+	if _, err := ef.Compress(make([]float32, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ef.Compress(make([]float32, 11)); err == nil {
+		t.Fatal("length change accepted without Reset")
+	}
+	ef.Reset()
+	if _, err := ef.Compress(make([]float32, 11)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressorRoundTripProperty(t *testing.T) {
+	// Structured-random gradients through every compressor: the round trip
+	// must always produce the right length and respect each compressor's
+	// error semantics (bounded for COMPSO/SZ; scale-bounded for QSGD).
+	f := func(seed uint64, size uint16) bool {
+		n := int(size)%4000 + 1
+		src := make([]float32, n)
+		xrand.KFACGradient(xrand.New(seed, 5), src, 1.0)
+		for _, c := range []Compressor{
+			NewCOMPSO(int64(seed)),
+			NewQSGD(8, int64(seed)),
+			NewSZ(4e-3),
+			NewCocktailSGD(0.2, 8, int64(seed)),
+		} {
+			data, err := c.Compress(src)
+			if err != nil {
+				return false
+			}
+			out, err := c.Decompress(data)
+			if err != nil || len(out) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOMPSOErrorBoundProperty(t *testing.T) {
+	f := func(seed uint64, ebMilli uint8) bool {
+		eb := float64(ebMilli%50+1) * 1e-3
+		src := make([]float32, 3000)
+		xrand.KFACGradient(xrand.New(seed, 6), src, 1.0)
+		c := NewCOMPSO(int64(seed))
+		c.EBFilter, c.EBQuant = eb, eb
+		data, err := c.Compress(src)
+		if err != nil {
+			return false
+		}
+		out, err := c.Decompress(data)
+		if err != nil {
+			return false
+		}
+		for i := range src {
+			if math.Abs(float64(out[i]-src[i])) > eb+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+package compress
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"compso/internal/encoding"
+	"compso/internal/filter"
+	"compso/internal/quant"
+	"compso/internal/xrand"
+)
+
+// COMPSO is the paper's compressor (§4.3, Algorithm 1, Figure 4a):
+//
+//  1. Filter (lossy): values with |v| < EBFilter are dropped and recorded
+//     in a bitmap.
+//  2. Error-bounded stochastic-rounding quantization (lossy) of the kept
+//     values under EBQuant, packed at the minimal bit width.
+//  3. Lossless encoding of both the bitmap and the packed code stream with
+//     the selected back-end codec (ANS by default; the performance model
+//     can switch it per model).
+//
+// Unlike fixed-rate quantizers, both error bounds are tunable per
+// iteration: the iteration-wise adaptive controller (package compso) runs
+// filter+SR with loose bounds early in training and SR-only with tight
+// bounds near convergence.
+type COMPSO struct {
+	// EBFilter is the filter error bound eb_f; values below it are zeroed.
+	// Ignored when FilterEnabled is false.
+	EBFilter float64
+	// EBQuant is the stochastic-rounding error bound eb_q.
+	EBQuant float64
+	// FilterEnabled selects the aggressive (filter+SR) vs conservative
+	// (SR-only) strategy of Algorithm 1.
+	FilterEnabled bool
+	// Codec is the lossless back-end encoder (nil defaults to ANS).
+	Codec encoding.Codec
+	// Rounding selects the quantizer's rounding mode. The paper's design
+	// choice is stochastic rounding (the default); RN and P0.5 exist for
+	// the §4.2 ablation.
+	Rounding quant.Mode
+	// BitPacked selects §4.3's dense bit packing of quantization codes
+	// instead of the default byte-plane layout. Byte planes entropy-code
+	// better (symbols stay byte-aligned); bit packing is the ablation.
+	BitPacked bool
+	rng       *rand.Rand
+}
+
+// NewCOMPSO returns a COMPSO compressor in aggressive mode with the paper's
+// default bounds (eb_f = eb_q = 4e-3) and the ANS back-end.
+func NewCOMPSO(seed int64) *COMPSO {
+	return &COMPSO{
+		EBFilter:      4e-3,
+		EBQuant:       4e-3,
+		FilterEnabled: true,
+		Codec:         encoding.ANS{},
+		Rounding:      quant.SR,
+		rng:           xrand.NewSeeded(seed),
+	}
+}
+
+// Name implements Compressor.
+func (c *COMPSO) Name() string { return "COMPSO" }
+
+// codec returns the configured back-end, defaulting to ANS.
+func (c *COMPSO) codec() encoding.Codec {
+	if c.Codec == nil {
+		return encoding.ANS{}
+	}
+	return c.Codec
+}
+
+// codecID maps the configured codec to its registry index for the header.
+func (c *COMPSO) codecID() (byte, error) {
+	name := c.codec().Name()
+	for i, n := range encoding.Names() {
+		if n == name {
+			return byte(i), nil
+		}
+	}
+	return 0, fmt.Errorf("compress: COMPSO codec %q not registered", name)
+}
+
+// Compress implements Compressor.
+func (c *COMPSO) Compress(src []float32) ([]byte, error) {
+	if c.EBQuant <= 0 {
+		return nil, fmt.Errorf("compress: COMPSO quantizer bound %g <= 0", c.EBQuant)
+	}
+	if c.FilterEnabled && c.EBFilter <= 0 {
+		return nil, fmt.Errorf("compress: COMPSO filter bound %g <= 0", c.EBFilter)
+	}
+	codecID, err := c.codecID()
+	if err != nil {
+		return nil, err
+	}
+
+	var bitmap []byte
+	kept := src
+	filterFlag := byte(0)
+	if c.FilterEnabled {
+		bitmap, kept = filter.Apply(src, c.EBFilter)
+		filterFlag = 1
+	}
+	codes := quant.QuantizeEB(kept, c.EBQuant, c.Rounding, c.rng)
+
+	cdc := c.codec()
+	encBitmap := cdc.Encode(bitmap)
+
+	// Options byte: bit 0 = bit-packed codes, bits 1-2 = rounding mode.
+	options := byte(c.Rounding) << 1
+	if c.BitPacked {
+		options |= 1
+	}
+
+	out := putHeader(nil, magicCOMPSO, len(src))
+	out = append(out, filterFlag, codecID, options)
+	out = putFloat64(out, c.EBFilter)
+	out = putFloat64(out, c.EBQuant)
+	out = putHeader(out, 0xBB, len(kept))      // kept-value count
+	out = putHeader(out, 0xBB, len(encBitmap)) // bitmap section length
+	out = append(out, encBitmap...)
+	if c.BitPacked {
+		// §4.3 ablation: dense bit packing in a single plane-like section.
+		enc := cdc.Encode(quant.PackCodes(codes))
+		out = append(out, byte(1))
+		out = putHeader(out, 0xBB, len(enc))
+		out = append(out, enc...)
+		return out, nil
+	}
+	// Byte-plane layout: entropy coders get byte-aligned symbol streams
+	// (plane 0 carries the low bytes where the distribution skew lives,
+	// higher planes are near-constant zero and collapse to almost nothing).
+	planes := quant.PlaneSplit(codes)
+	out = append(out, byte(len(planes)))
+	for _, plane := range planes {
+		enc := cdc.Encode(plane)
+		out = putHeader(out, 0xBB, len(enc))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (c *COMPSO) Decompress(data []byte) ([]float32, error) {
+	n, rest, err := getHeader(data, magicCOMPSO, "COMPSO")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 3 {
+		return nil, fmt.Errorf("%w: COMPSO: truncated flags", ErrCorrupt)
+	}
+	filterFlag, codecID, options := rest[0], rest[1], rest[2]
+	rest = rest[3:]
+	bitPacked := options&1 != 0
+	rounding := quant.Mode(options >> 1)
+	if rounding > quant.P05 {
+		return nil, fmt.Errorf("%w: COMPSO: rounding mode %d", ErrCorrupt, rounding)
+	}
+	_, rest, err = getFloat64(rest, "COMPSO ebf")
+	if err != nil {
+		return nil, err
+	}
+	ebq, rest, err := getFloat64(rest, "COMPSO ebq")
+	if err != nil {
+		return nil, err
+	}
+	if ebq <= 0 {
+		return nil, fmt.Errorf("%w: COMPSO: quantizer bound %g", ErrCorrupt, ebq)
+	}
+	names := encoding.Names()
+	if int(codecID) >= len(names) {
+		return nil, fmt.Errorf("%w: COMPSO: codec id %d", ErrCorrupt, codecID)
+	}
+	cdc, err := encoding.ByName(names[codecID])
+	if err != nil {
+		return nil, err
+	}
+	keptCount, rest, err := getHeader(rest, 0xBB, "COMPSO kept count")
+	if err != nil {
+		return nil, err
+	}
+	if keptCount > n {
+		return nil, fmt.Errorf("%w: COMPSO: kept count %d > %d", ErrCorrupt, keptCount, n)
+	}
+	bitmapLen, rest, err := getHeader(rest, 0xBB, "COMPSO bitmap section")
+	if err != nil {
+		return nil, err
+	}
+	if bitmapLen > len(rest) {
+		return nil, fmt.Errorf("%w: COMPSO: bitmap section of %d overruns %d", ErrCorrupt, bitmapLen, len(rest))
+	}
+	var bitmap []byte
+	if filterFlag != 0 {
+		bitmap, err = cdc.Decode(rest[:bitmapLen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: COMPSO bitmap: %v", ErrCorrupt, err)
+		}
+	}
+	rest = rest[bitmapLen:]
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("%w: COMPSO: truncated plane count", ErrCorrupt)
+	}
+	nPlanes := int(rest[0])
+	rest = rest[1:]
+	if nPlanes > 4 {
+		return nil, fmt.Errorf("%w: COMPSO: %d planes", ErrCorrupt, nPlanes)
+	}
+	var codes []int32
+	if bitPacked {
+		if nPlanes != 1 {
+			return nil, fmt.Errorf("%w: COMPSO: bit-packed stream with %d sections", ErrCorrupt, nPlanes)
+		}
+		secLen, after, err := getHeader(rest, 0xBB, "COMPSO packed section")
+		if err != nil {
+			return nil, err
+		}
+		if secLen > len(after) {
+			return nil, fmt.Errorf("%w: COMPSO: packed section overruns", ErrCorrupt)
+		}
+		packed, err := cdc.Decode(after[:secLen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: COMPSO packed: %v", ErrCorrupt, err)
+		}
+		codes, err = quant.UnpackCodes(packed)
+		if err != nil {
+			return nil, fmt.Errorf("%w: COMPSO: %v", ErrCorrupt, err)
+		}
+		if len(codes) != keptCount {
+			return nil, fmt.Errorf("%w: COMPSO: %d codes for %d kept", ErrCorrupt, len(codes), keptCount)
+		}
+	} else {
+		planes := make([][]byte, nPlanes)
+		for p := range planes {
+			planeLen, after, err := getHeader(rest, 0xBB, "COMPSO plane")
+			if err != nil {
+				return nil, err
+			}
+			if planeLen > len(after) {
+				return nil, fmt.Errorf("%w: COMPSO: plane %d overruns", ErrCorrupt, p)
+			}
+			planes[p], err = cdc.Decode(after[:planeLen])
+			if err != nil {
+				return nil, fmt.Errorf("%w: COMPSO plane %d: %v", ErrCorrupt, p, err)
+			}
+			rest = after[planeLen:]
+		}
+		codes, err = quant.PlaneJoin(planes, keptCount)
+		if err != nil {
+			return nil, fmt.Errorf("%w: COMPSO: %v", ErrCorrupt, err)
+		}
+	}
+	kept := quant.DequantizeEB(codes, ebq, rounding)
+	if filterFlag == 0 {
+		if len(kept) != n {
+			return nil, fmt.Errorf("%w: COMPSO: %d values for %d elements", ErrCorrupt, len(kept), n)
+		}
+		return kept, nil
+	}
+	out, err := filter.Restore(bitmap, n, kept)
+	if err != nil {
+		return nil, fmt.Errorf("%w: COMPSO: %v", ErrCorrupt, err)
+	}
+	return out, nil
+}
+
+// MaxError returns the worst-case pointwise error of the current
+// configuration: filtered values err by up to EBFilter, quantized ones by
+// up to EBQuant.
+func (c *COMPSO) MaxError() float64 {
+	if c.FilterEnabled && c.EBFilter > c.EBQuant {
+		return c.EBFilter
+	}
+	return c.EBQuant
+}

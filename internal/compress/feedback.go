@@ -1,0 +1,82 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErrorFeedback wraps a compressor with the error-feedback (EF) mechanism
+// discussed in §6 of the paper: the compression residual (original −
+// decompressed) is stored locally and added back to the next iteration's
+// gradient, making even biased compressors asymptotically unbiased. COMPSO
+// deliberately does not use EF — the residual doubles the gradient memory,
+// which conflicts with large-batch data-parallel training — but the wrapper
+// exists for the comparison experiments and for users with memory to spare.
+//
+// The wrapper is stateful per gradient stream: use one instance per
+// (worker, tensor) pair, and call Compress with same-length inputs.
+type ErrorFeedback struct {
+	// Inner performs the actual compression.
+	Inner Compressor
+	// residual carries the accumulated compression error.
+	residual []float32
+}
+
+// NewErrorFeedback wraps inner with EF state.
+func NewErrorFeedback(inner Compressor) *ErrorFeedback {
+	return &ErrorFeedback{Inner: inner}
+}
+
+// Name implements Compressor.
+func (e *ErrorFeedback) Name() string { return e.Inner.Name() + "+EF" }
+
+// Compress adds the stored residual to src, compresses the sum, and stores
+// the new residual. The input slice is not modified.
+func (e *ErrorFeedback) Compress(src []float32) ([]byte, error) {
+	if e.residual != nil && len(e.residual) != len(src) {
+		return nil, fmt.Errorf("compress: EF residual length %d, input %d", len(e.residual), len(src))
+	}
+	corrected := make([]float32, len(src))
+	copy(corrected, src)
+	if e.residual != nil {
+		for i := range corrected {
+			corrected[i] += e.residual[i]
+		}
+	}
+	blob, err := e.Inner.Compress(corrected)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := e.Inner.Decompress(blob)
+	if err != nil {
+		return nil, fmt.Errorf("compress: EF local decode: %w", err)
+	}
+	if len(decoded) != len(corrected) {
+		return nil, fmt.Errorf("compress: EF decode length %d, want %d", len(decoded), len(corrected))
+	}
+	if e.residual == nil {
+		e.residual = make([]float32, len(src))
+	}
+	for i := range corrected {
+		e.residual[i] = corrected[i] - decoded[i]
+	}
+	return blob, nil
+}
+
+// Decompress implements Compressor.
+func (e *ErrorFeedback) Decompress(data []byte) ([]float32, error) {
+	return e.Inner.Decompress(data)
+}
+
+// Reset clears the residual (e.g. between epochs or tensor shape changes).
+func (e *ErrorFeedback) Reset() { e.residual = nil }
+
+// ResidualNorm returns the L2 norm of the stored residual, a diagnostic
+// for how much error is in flight.
+func (e *ErrorFeedback) ResidualNorm() float64 {
+	var s float64
+	for _, v := range e.residual {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,47 @@
+package compress
+
+import "testing"
+
+// Decompressor fuzzing: arbitrary bytes must never panic — only return
+// values or an error.
+
+func fuzzDecompress(f *testing.F, mk func() Compressor) {
+	f.Helper()
+	c := mk()
+	valid, err := c.Compress(kfacData(500, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, seed := range [][]byte{nil, {0}, {0x51, 0x05}, valid} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := mk()
+		out, err := dec.Decompress(data)
+		if err == nil && out == nil && len(data) > 0 {
+			t.Fatal("nil output without error")
+		}
+	})
+}
+
+func FuzzCOMPSODecompress(f *testing.F) {
+	fuzzDecompress(f, func() Compressor { return NewCOMPSO(1) })
+}
+
+func FuzzQSGDDecompress(f *testing.F) {
+	fuzzDecompress(f, func() Compressor { return NewQSGD(8, 2) })
+}
+
+func FuzzSZDecompress(f *testing.F) {
+	fuzzDecompress(f, func() Compressor { return NewSZ(4e-3) })
+}
+
+func FuzzCocktailDecompress(f *testing.F) {
+	fuzzDecompress(f, func() Compressor { return NewCocktailSGD(0.2, 8, 3) })
+}
+
+func FuzzChunkedDecompress(f *testing.F) {
+	fuzzDecompress(f, func() Compressor {
+		return &Chunked{New: func(seed int64) Compressor { return NewQSGD(8, seed) }, ChunkSize: 64}
+	})
+}

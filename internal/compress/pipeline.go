@@ -1,0 +1,240 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+
+	"compso/internal/quant"
+	"compso/internal/xrand"
+)
+
+// This file holds the pipeline-shape variants used by the GPU performance
+// study (Figure 8): a deliberately multi-pass "framework-style" QSGD that
+// reproduces the kernel-per-op behaviour the paper measures for the PyTorch
+// baselines, and a Chunked wrapper that mirrors the thread-block data
+// parallelism of the fused CUDA implementations.
+
+// TorchQSGD is QSGD implemented the way a tensor framework executes it: one
+// full pass and one temporary buffer per conceptual kernel (abs, max,
+// divide, round, clamp, zig-zag, encode). The arithmetic is identical to
+// QSGD; only the memory traffic differs — which is exactly the paper's
+// explanation for the PyTorch baselines' low throughput in Figure 8
+// ("PyTorch launches multiple kernels for CUDA tensor operations").
+type TorchQSGD struct {
+	Bits int
+	rng  *rand.Rand
+}
+
+// NewTorchQSGD returns the multi-pass QSGD variant.
+func NewTorchQSGD(bitWidth int, seed int64) *TorchQSGD {
+	return &TorchQSGD{Bits: bitWidth, rng: xrand.NewSeeded(seed)}
+}
+
+// Name implements Compressor.
+func (t *TorchQSGD) Name() string { return fmt.Sprintf("QSGD-%dbit (torch)", t.Bits) }
+
+// Compress implements Compressor. Each stage materializes its result, as a
+// framework dispatching one kernel per tensor op would.
+func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
+	// Kernel 1: abs.
+	absV := make([]float64, len(src))
+	for i, v := range src {
+		absV[i] = math.Abs(float64(v))
+	}
+	// Kernel 2: max reduction.
+	var maxAbs float64
+	for _, v := range absV {
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	maxLevel := float64(int32(1)<<(t.Bits-1) - 1)
+	scale := 0.0
+	if maxAbs > 0 {
+		scale = maxAbs / maxLevel
+	}
+	// Kernel 3: divide.
+	scaled := make([]float64, len(src))
+	if scale > 0 {
+		for i, v := range src {
+			scaled[i] = float64(v) / scale
+		}
+	}
+	// Kernel 4: stochastic round.
+	rounded := make([]float64, len(src))
+	for i, x := range scaled {
+		fl := math.Floor(x)
+		if t.rng.Float64() < x-fl {
+			rounded[i] = fl + 1
+		} else {
+			rounded[i] = fl
+		}
+	}
+	// Kernel 5: clamp.
+	clamped := make([]float64, len(src))
+	for i, x := range rounded {
+		clamped[i] = math.Max(-maxLevel, math.Min(maxLevel, x))
+	}
+	// Kernel 6: cast to levels.
+	levels := make([]int32, len(src))
+	for i, x := range clamped {
+		levels[i] = int32(x)
+	}
+	// Kernel 7: pack/encode (host-side in frameworks).
+	out := putHeader(nil, magicQSGD, len(src))
+	out = putFloat64(out, scale)
+	packed := quant.PackCodes(levels)
+	return append(out, packed...), nil
+}
+
+// Decompress implements Compressor.
+func (t *TorchQSGD) Decompress(data []byte) ([]float32, error) {
+	n, rest, err := getHeader(data, magicQSGD, "TorchQSGD")
+	if err != nil {
+		return nil, err
+	}
+	scale, rest, err := getFloat64(rest, "TorchQSGD")
+	if err != nil {
+		return nil, err
+	}
+	levels, err := quant.UnpackCodes(rest)
+	if err != nil {
+		return nil, fmt.Errorf("%w: TorchQSGD: %v", ErrCorrupt, err)
+	}
+	if len(levels) != n {
+		return nil, fmt.Errorf("%w: TorchQSGD: %d levels for %d values", ErrCorrupt, len(levels), n)
+	}
+	return quant.DequantizeFixed(levels, scale), nil
+}
+
+// Chunked runs an inner compressor over fixed-size blocks of the input in
+// parallel, mirroring the thread-block decomposition of the fused CUDA
+// kernels (§4.5): each block computes its own extrema locally (the
+// block-reduction + warp-shuffle optimization) and compresses
+// independently, so the whole pipeline is a single parallel pass.
+type Chunked struct {
+	// New creates the per-worker inner compressor; it must produce
+	// decompressors compatible with the compressed chunks (same settings).
+	New func(seed int64) Compressor
+	// ChunkSize is the number of float32 elements per block.
+	ChunkSize int
+	// Workers bounds parallelism (defaults to GOMAXPROCS).
+	Workers int
+	// Seed namespaces the per-chunk RNG seeds.
+	Seed int64
+}
+
+// Name implements Compressor.
+func (c *Chunked) Name() string { return c.New(0).Name() + " (chunked)" }
+
+func (c *Chunked) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Compress implements Compressor.
+func (c *Chunked) Compress(src []float32) ([]byte, error) {
+	if c.ChunkSize <= 0 {
+		return nil, fmt.Errorf("compress: Chunked chunk size %d", c.ChunkSize)
+	}
+	nChunks := (len(src) + c.ChunkSize - 1) / c.ChunkSize
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	parts := make([][]byte, nChunks)
+	errs := make([]error, nChunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers())
+	for i := 0; i < nChunks; i++ {
+		lo := i * c.ChunkSize
+		hi := min(lo+c.ChunkSize, len(src))
+		wg.Add(1)
+		go func(i int, block []float32) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			comp := c.New(c.Seed + int64(i))
+			parts[i], errs[i] = comp.Compress(block)
+		}(i, src[lo:hi])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := binary.AppendUvarint(nil, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(nChunks))
+	for _, p := range parts {
+		out = binary.AppendUvarint(out, uint64(len(p)))
+	}
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (c *Chunked) Decompress(data []byte) ([]float32, error) {
+	total, used := binary.Uvarint(data)
+	if used <= 0 || total > 1<<31 {
+		return nil, fmt.Errorf("%w: Chunked: bad total", ErrCorrupt)
+	}
+	data = data[used:]
+	nChunks, used := binary.Uvarint(data)
+	if used <= 0 || nChunks > total+1 {
+		return nil, fmt.Errorf("%w: Chunked: bad chunk count", ErrCorrupt)
+	}
+	data = data[used:]
+	sizes := make([]int, nChunks)
+	for i := range sizes {
+		s, used := binary.Uvarint(data)
+		if used <= 0 {
+			return nil, fmt.Errorf("%w: Chunked: truncated size table", ErrCorrupt)
+		}
+		data = data[used:]
+		sizes[i] = int(s)
+	}
+	parts := make([][]byte, nChunks)
+	for i, s := range sizes {
+		if s > len(data) {
+			return nil, fmt.Errorf("%w: Chunked: chunk %d overruns", ErrCorrupt, i)
+		}
+		parts[i] = data[:s]
+		data = data[s:]
+	}
+	out := make([]float32, 0, total)
+	results := make([][]float32, nChunks)
+	errs := make([]error, nChunks)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers())
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			comp := c.New(c.Seed + int64(i))
+			results[i], errs[i] = comp.Decompress(parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	if uint64(len(out)) != total {
+		return nil, fmt.Errorf("%w: Chunked: decoded %d values, want %d", ErrCorrupt, len(out), total)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package compress
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"compso/internal/bitstream"
+	"compso/internal/encoding"
+	"compso/internal/quant"
+	"compso/internal/xrand"
+)
+
+// QSGD implements the QSGD baseline [Alistarh et al., NeurIPS'17]:
+// max-normalized fixed-bit quantization with stochastic rounding (Eq. 3–4)
+// followed by Elias-gamma coding of the zig-zagged levels. The paper uses
+// the 4-bit and 8-bit variants; 8-bit preserves K-FAC accuracy but caps the
+// compression ratio well below COMPSO's (Figure 3).
+type QSGD struct {
+	// Bits is the quantization width (levels span ±(2^(Bits−1)−1)).
+	Bits int
+	rng  *rand.Rand
+}
+
+// NewQSGD returns a QSGD compressor with the given bit width and RNG seed
+// for stochastic rounding.
+func NewQSGD(bitWidth int, seed int64) *QSGD {
+	return &QSGD{Bits: bitWidth, rng: xrand.NewSeeded(seed)}
+}
+
+// Name implements Compressor.
+func (q *QSGD) Name() string { return fmt.Sprintf("QSGD-%dbit", q.Bits) }
+
+// Compress implements Compressor.
+func (q *QSGD) Compress(src []float32) ([]byte, error) {
+	levels, scale := quant.QuantizeFixed(src, q.Bits, quant.SR, q.rng)
+	out := putHeader(nil, magicQSGD, len(src))
+	out = putFloat64(out, scale)
+	w := bitstream.NewWriter(len(src) * q.Bits / 8)
+	for _, l := range levels {
+		// Gamma codes require values >= 1; zig-zag+1 keeps zeros cheap
+		// (a single bit), which dominates quantized gradients.
+		encoding.EliasGammaEncode(w, uint64(quant.ZigZag(l))+1)
+	}
+	return append(out, w.Bytes()...), nil
+}
+
+// Decompress implements Compressor.
+func (q *QSGD) Decompress(data []byte) ([]float32, error) {
+	n, rest, err := getHeader(data, magicQSGD, "QSGD")
+	if err != nil {
+		return nil, err
+	}
+	scale, rest, err := getFloat64(rest, "QSGD")
+	if err != nil {
+		return nil, err
+	}
+	r := bitstream.NewReader(rest)
+	levels := make([]int32, n)
+	for i := range levels {
+		v, err := encoding.EliasGammaDecode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: QSGD: level %d: %v", ErrCorrupt, i, err)
+		}
+		if v-1 > 1<<31 {
+			return nil, fmt.Errorf("%w: QSGD: level %d out of range", ErrCorrupt, i)
+		}
+		levels[i] = quant.UnZigZag(uint32(v - 1))
+	}
+	return quant.DequantizeFixed(levels, scale), nil
+}

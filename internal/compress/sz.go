@@ -1,0 +1,121 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+
+	"compso/internal/encoding"
+	"compso/internal/quant"
+)
+
+// SZ implements the cuSZ baseline algorithm the paper compares against:
+// 1-D Lorenzo prediction (each value predicted by its reconstructed
+// predecessor), round-to-nearest quantization of the prediction residual
+// under a range-relative error bound, and Huffman coding of the packed
+// quantization codes (§2.4). RN's uniform error distribution is what costs
+// it accuracy on K-FAC gradients relative to the SR-based compressors
+// (§4.2, Table 6b).
+type SZ struct {
+	// RelErrorBound is the error bound relative to the value range, e.g.
+	// 4e-3 means |error| <= 4e-3·(max−min). The paper evaluates 1e-1 and
+	// 4e-3.
+	RelErrorBound float64
+}
+
+// NewSZ returns an SZ compressor with the given range-relative error bound.
+func NewSZ(relEB float64) *SZ { return &SZ{RelErrorBound: relEB} }
+
+// Name implements Compressor.
+func (s *SZ) Name() string { return fmt.Sprintf("SZ-%.0E", s.RelErrorBound) }
+
+// Compress implements Compressor.
+func (s *SZ) Compress(src []float32) ([]byte, error) {
+	if s.RelErrorBound <= 0 {
+		return nil, fmt.Errorf("compress: SZ error bound %g <= 0", s.RelErrorBound)
+	}
+	var minV, maxV float64
+	for i, v := range src {
+		f := float64(v)
+		if i == 0 || f < minV {
+			minV = f
+		}
+		if i == 0 || f > maxV {
+			maxV = f
+		}
+	}
+	ebAbs := s.RelErrorBound * (maxV - minV)
+	if ebAbs == 0 {
+		ebAbs = s.RelErrorBound // constant input: any tiny bound works
+	}
+	out := putHeader(nil, magicSZ, len(src))
+	out = putFloat64(out, ebAbs)
+
+	// Lorenzo prediction against the *reconstructed* previous value keeps
+	// the decoder in lockstep and the error bound tight per element.
+	codes := make([]int32, len(src))
+	prev := 0.0
+	bin := 2 * ebAbs
+	for i, v := range src {
+		residual := float64(v) - prev
+		c := int32(math.Round(residual / bin))
+		codes[i] = c
+		prev += float64(c) * bin
+	}
+	// Byte-plane layout keeps the Huffman symbols byte-aligned (cuSZ's
+	// codebook likewise works on byte-sized quant codes).
+	planes := quant.PlaneSplit(codes)
+	out = append(out, byte(len(planes)))
+	for _, plane := range planes {
+		enc := encoding.Huffman{}.Encode(plane)
+		out = putHeader(out, 0xBB, len(enc))
+		out = append(out, enc...)
+	}
+	return out, nil
+}
+
+// Decompress implements Compressor.
+func (s *SZ) Decompress(data []byte) ([]float32, error) {
+	n, rest, err := getHeader(data, magicSZ, "SZ")
+	if err != nil {
+		return nil, err
+	}
+	ebAbs, rest, err := getFloat64(rest, "SZ")
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 1 {
+		return nil, fmt.Errorf("%w: SZ: truncated plane count", ErrCorrupt)
+	}
+	nPlanes := int(rest[0])
+	rest = rest[1:]
+	if nPlanes > 4 {
+		return nil, fmt.Errorf("%w: SZ: %d planes", ErrCorrupt, nPlanes)
+	}
+	planes := make([][]byte, nPlanes)
+	for p := range planes {
+		planeLen, after, err := getHeader(rest, 0xBB, "SZ plane")
+		if err != nil {
+			return nil, err
+		}
+		if planeLen > len(after) {
+			return nil, fmt.Errorf("%w: SZ: plane %d overruns", ErrCorrupt, p)
+		}
+		planes[p], err = encoding.Huffman{}.Decode(after[:planeLen])
+		if err != nil {
+			return nil, fmt.Errorf("%w: SZ plane %d: %v", ErrCorrupt, p, err)
+		}
+		rest = after[planeLen:]
+	}
+	codes, err := quant.PlaneJoin(planes, n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: SZ: %v", ErrCorrupt, err)
+	}
+	out := make([]float32, n)
+	prev := 0.0
+	bin := 2 * ebAbs
+	for i, c := range codes {
+		prev += float64(c) * bin
+		out[i] = float32(prev)
+	}
+	return out, nil
+}

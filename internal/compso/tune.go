@@ -1,0 +1,109 @@
+package compso
+
+import (
+	"fmt"
+	"math"
+
+	"compso/internal/compress"
+)
+
+// This file implements the paper's first future-work item: "precisely
+// optimizing filter thresholds and quantization error bounds, moving beyond
+// empirical settings". TuneBounds searches for the largest error bound that
+// still preserves the gradient's direction to a target fidelity — the
+// quantity second-order updates actually depend on.
+
+// CosineSimilarity returns the cosine between two equal-length gradients
+// (0 when either is a zero vector).
+func CosineSimilarity(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("compso: cosine of lengths %d vs %d", len(a), len(b)))
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += float64(a[i]) * float64(b[i])
+		na += float64(a[i]) * float64(a[i])
+		nb += float64(b[i]) * float64(b[i])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// TuneResult is the outcome of a bound search.
+type TuneResult struct {
+	// ErrorBound is the selected bound, applied to both eb_f and eb_q.
+	ErrorBound float64
+	// Cosine is the direction fidelity achieved at that bound.
+	Cosine float64
+	// Ratio is the compression ratio achieved at that bound.
+	Ratio float64
+}
+
+// TuneBounds finds (by bisection on a log scale) the largest error bound
+// whose filter+SR round trip keeps the cosine similarity between the
+// sample gradient and its reconstruction at or above targetCosine. The
+// sample should be a representative K-FAC gradient (e.g. from a warmup
+// iteration). lo and hi bracket the search; targetCosine must be in (0, 1).
+func TuneBounds(sample []float32, targetCosine, lo, hi float64, seed int64) (TuneResult, error) {
+	if len(sample) == 0 {
+		return TuneResult{}, fmt.Errorf("compso: empty tuning sample")
+	}
+	if targetCosine <= 0 || targetCosine >= 1 {
+		return TuneResult{}, fmt.Errorf("compso: target cosine %g outside (0,1)", targetCosine)
+	}
+	if lo <= 0 || hi <= lo {
+		return TuneResult{}, fmt.Errorf("compso: invalid bracket [%g, %g]", lo, hi)
+	}
+	eval := func(eb float64) (TuneResult, error) {
+		c := compress.NewCOMPSO(seed)
+		c.EBFilter, c.EBQuant = eb, eb
+		blob, err := c.Compress(sample)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		restored, err := c.Decompress(blob)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		return TuneResult{
+			ErrorBound: eb,
+			Cosine:     CosineSimilarity(sample, restored),
+			Ratio:      compress.Ratio(len(sample), blob),
+		}, nil
+	}
+	// Cosine decreases as eb grows (more of the gradient zeroed/noised),
+	// so bisect for the crossing.
+	loRes, err := eval(lo)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	if loRes.Cosine < targetCosine {
+		return TuneResult{}, fmt.Errorf("compso: even eb=%g yields cosine %.3f < target %.3f",
+			lo, loRes.Cosine, targetCosine)
+	}
+	hiRes, err := eval(hi)
+	if err != nil {
+		return TuneResult{}, err
+	}
+	if hiRes.Cosine >= targetCosine {
+		return hiRes, nil // the whole bracket satisfies the target
+	}
+	best := loRes
+	logLo, logHi := math.Log(lo), math.Log(hi)
+	for iter := 0; iter < 24; iter++ {
+		mid := math.Exp((logLo + logHi) / 2)
+		res, err := eval(mid)
+		if err != nil {
+			return TuneResult{}, err
+		}
+		if res.Cosine >= targetCosine {
+			best = res
+			logLo = math.Log(mid)
+		} else {
+			logHi = math.Log(mid)
+		}
+	}
+	return best, nil
+}

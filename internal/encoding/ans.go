@@ -1,0 +1,209 @@
+package encoding
+
+// rANS (range asymmetric numeral system) entropy coder, the stand-in for
+// nvCOMP's ANS codec. Order-0 byte model with a 12-bit normalized frequency
+// table, 32-bit state and byte-wise renormalization — the construction of
+// Duda's rANS as popularized by ryg_rans and the massively parallel GPU ANS
+// decoder the paper cites [54]. ANS is the encoder COMPSO ends up selecting
+// for both CNN and transformer gradient streams because it pairs a high
+// compression ratio (entropy coding exploits the non-uniform quantized
+// gradient distribution) with the highest throughput of the entropy coders.
+
+const (
+	ansProbBits  = 12
+	ansProbScale = 1 << ansProbBits // 4096
+	ansLowBound  = 1 << 23          // renormalization lower bound
+)
+
+// ANS is the rANS codec. The zero value is ready to use.
+type ANS struct{}
+
+// Name implements Codec.
+func (ANS) Name() string { return "ANS" }
+
+// Encode implements Codec.
+func (ANS) Encode(src []byte) []byte {
+	out := putUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return out
+	}
+
+	freq := normalizedFreqs(src)
+
+	// Cumulative table.
+	var cum [257]uint32
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + freq[s]
+	}
+
+	// Serialize the frequency table as (distinct count, then symbol+freq
+	// pairs); gradient streams use few distinct symbols so this is compact.
+	distinct := 0
+	for _, f := range freq {
+		if f > 0 {
+			distinct++
+		}
+	}
+	out = putUvarint(out, uint64(distinct))
+	for s, f := range freq {
+		if f > 0 {
+			out = append(out, byte(s))
+			out = putUvarint(out, uint64(f))
+		}
+	}
+
+	// rANS encodes in reverse so the decoder emits in forward order.
+	body := make([]byte, 0, len(src)/2+16)
+	x := uint32(ansLowBound)
+	for i := len(src) - 1; i >= 0; i-- {
+		s := src[i]
+		f := freq[s]
+		// Renormalize: flush low bytes while the state is too large to
+		// absorb the symbol.
+		xMax := ((ansLowBound >> ansProbBits) << 8) * f
+		for x >= xMax {
+			body = append(body, byte(x))
+			x >>= 8
+		}
+		x = (x/f)<<ansProbBits + (x % f) + cum[s]
+	}
+	// Final state, little-endian.
+	out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	// Body bytes were pushed in reverse stream order; append them reversed
+	// so the decoder reads forward.
+	for i := len(body) - 1; i >= 0; i-- {
+		out = append(out, body[i])
+	}
+	return out
+}
+
+// Decode implements Codec.
+func (ANS) Decode(src []byte) ([]byte, error) {
+	n, consumed, err := getUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[consumed:]
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if n > 1<<33 {
+		return nil, corruptf("ANS: implausible length %d", n)
+	}
+
+	distinct, consumed, err := getUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	src = src[consumed:]
+	if distinct == 0 || distinct > 256 {
+		return nil, corruptf("ANS: distinct symbol count %d", distinct)
+	}
+	var freq [256]uint32
+	var total uint32
+	for i := uint64(0); i < distinct; i++ {
+		if len(src) < 1 {
+			return nil, corruptf("ANS: truncated frequency table")
+		}
+		sym := src[0]
+		src = src[1:]
+		f, consumed, err := getUvarint(src)
+		if err != nil {
+			return nil, err
+		}
+		src = src[consumed:]
+		if f == 0 || f > ansProbScale {
+			return nil, corruptf("ANS: frequency %d for symbol %d", f, sym)
+		}
+		if freq[sym] != 0 {
+			return nil, corruptf("ANS: duplicate symbol %d", sym)
+		}
+		freq[sym] = uint32(f)
+		total += uint32(f)
+	}
+	if total != ansProbScale {
+		return nil, corruptf("ANS: frequencies sum to %d, want %d", total, ansProbScale)
+	}
+
+	var cum [257]uint32
+	for s := 0; s < 256; s++ {
+		cum[s+1] = cum[s] + freq[s]
+	}
+	// slot → symbol lookup table.
+	var slotSym [ansProbScale]byte
+	for s := 0; s < 256; s++ {
+		for slot := cum[s]; slot < cum[s+1]; slot++ {
+			slotSym[slot] = byte(s)
+		}
+	}
+
+	if len(src) < 4 {
+		return nil, corruptf("ANS: truncated state")
+	}
+	x := uint32(src[0]) | uint32(src[1])<<8 | uint32(src[2])<<16 | uint32(src[3])<<24
+	src = src[4:]
+	if x < ansLowBound {
+		return nil, corruptf("ANS: invalid initial state %d", x)
+	}
+
+	dst := make([]byte, n)
+	pos := 0
+	for i := uint64(0); i < n; i++ {
+		slot := x & (ansProbScale - 1)
+		s := slotSym[slot]
+		dst[i] = s
+		x = freq[s]*(x>>ansProbBits) + slot - cum[s]
+		for x < ansLowBound {
+			if pos >= len(src) {
+				return nil, corruptf("ANS: truncated body at symbol %d", i)
+			}
+			x = x<<8 | uint32(src[pos])
+			pos++
+		}
+	}
+	return dst, nil
+}
+
+// normalizedFreqs counts byte frequencies in src and normalizes them so
+// that they sum exactly to ansProbScale with every present symbol >= 1.
+func normalizedFreqs(src []byte) [256]uint32 {
+	var counts [256]int
+	for _, b := range src {
+		counts[b]++
+	}
+	var freq [256]uint32
+	total := len(src)
+	assigned := uint32(0)
+	maxSym, maxF := 0, uint32(0)
+	for s, c := range counts {
+		if c == 0 {
+			continue
+		}
+		f := uint32(uint64(c) * ansProbScale / uint64(total))
+		if f == 0 {
+			f = 1
+		}
+		freq[s] = f
+		assigned += f
+		if f > maxF {
+			maxF, maxSym = f, s
+		}
+	}
+	// Fix rounding drift on the most frequent symbol. If the drift exceeds
+	// its frequency (pathological), walk the table redistributing.
+	diff := int64(ansProbScale) - int64(assigned)
+	if int64(freq[maxSym])+diff >= 1 {
+		freq[maxSym] = uint32(int64(freq[maxSym]) + diff)
+	} else {
+		// Rare path: shave from every symbol > 1 until the sum matches.
+		freq[maxSym] = 1
+		diff += int64(maxF) - 1
+		for s := 0; diff < 0 && s < 256; s++ {
+			for freq[s] > 1 && diff < 0 {
+				freq[s]--
+				diff++
+			}
+		}
+	}
+	return freq
+}

@@ -1,0 +1,62 @@
+package encoding
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// gradientPlane builds a byte stream with the skewed distribution of a
+// quantized-gradient low byte plane — the codecs' production workload.
+func gradientPlane(n int, seed uint64) []byte {
+	rng := rand.New(rand.NewPCG(seed, 1))
+	out := make([]byte, n)
+	for i := range out {
+		v := 0
+		for rng.Float64() < 0.55 && v < 255 {
+			v++
+		}
+		out[i] = byte(v)
+	}
+	return out
+}
+
+func benchEncode(b *testing.B, c Codec) {
+	src := gradientPlane(1<<20, 7)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var enc []byte
+	for i := 0; i < b.N; i++ {
+		enc = c.Encode(src)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(src))/float64(len(enc)), "CR")
+}
+
+func benchDecode(b *testing.B, c Codec) {
+	src := gradientPlane(1<<20, 7)
+	enc := c.Encode(src)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeANS(b *testing.B)      { benchEncode(b, ANS{}) }
+func BenchmarkEncodeBitcomp(b *testing.B)  { benchEncode(b, Bitcomp{}) }
+func BenchmarkEncodeCascaded(b *testing.B) { benchEncode(b, Cascaded{}) }
+func BenchmarkEncodeDeflate(b *testing.B)  { benchEncode(b, Deflate{}) }
+func BenchmarkEncodeGdeflate(b *testing.B) { benchEncode(b, Gdeflate{}) }
+func BenchmarkEncodeLZ4(b *testing.B)      { benchEncode(b, LZ4{}) }
+func BenchmarkEncodeSnappy(b *testing.B)   { benchEncode(b, Snappy{}) }
+func BenchmarkEncodeZstd(b *testing.B)     { benchEncode(b, Zstd{}) }
+func BenchmarkEncodeHuffman(b *testing.B)  { benchEncode(b, Huffman{}) }
+
+func BenchmarkDecodeANS(b *testing.B)     { benchDecode(b, ANS{}) }
+func BenchmarkDecodeBitcomp(b *testing.B) { benchDecode(b, Bitcomp{}) }
+func BenchmarkDecodeLZ4(b *testing.B)     { benchDecode(b, LZ4{}) }
+func BenchmarkDecodeZstd(b *testing.B)    { benchDecode(b, Zstd{}) }

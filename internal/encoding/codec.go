@@ -1,0 +1,105 @@
+// Package encoding implements the lossless back-end encoders that COMPSO's
+// performance model selects among (Table 2 of the paper): rANS, Bitcomp,
+// Cascaded, Deflate, Gdeflate, LZ4, Snappy and Zstd — each a from-scratch
+// stand-in for its nvCOMP counterpart that preserves the algorithmic class
+// (entropy coding vs dictionary matching vs run-length coding), which is
+// what determines the compression-ratio and throughput ordering the paper
+// reports. The package also provides the Elias-gamma coder used by the QSGD
+// baseline and the canonical Huffman coder used by the SZ baseline.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Codec losslessly encodes byte streams. Implementations are stateless and
+// safe for concurrent use.
+type Codec interface {
+	// Name returns the codec's registry name (e.g. "ANS").
+	Name() string
+	// Encode compresses src into a self-describing buffer. Encode never
+	// fails; incompressible data may grow slightly.
+	Encode(src []byte) []byte
+	// Decode reverses Encode. It returns an error when the buffer is
+	// truncated or corrupt.
+	Decode(src []byte) ([]byte, error)
+}
+
+// ErrCorrupt is wrapped by all decoders when the input cannot have been
+// produced by the matching encoder.
+var ErrCorrupt = errors.New("encoding: corrupt input")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// registry holds the codecs in Table 2 order.
+var registry = []Codec{
+	ANS{},
+	Bitcomp{},
+	Cascaded{},
+	Deflate{},
+	Gdeflate{},
+	LZ4{},
+	Snappy{},
+	Zstd{},
+}
+
+// All returns the Table 2 codec set in the paper's order (ANS, Bitcomp,
+// Cascaded, Deflate, Gdeflate, LZ4, Snappy, Zstd). The returned slice is a
+// copy and may be reordered by the caller.
+func All() []Codec {
+	out := make([]Codec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the codec with the given registry name.
+func ByName(name string) (Codec, error) {
+	for _, c := range registry {
+		if c.Name() == name {
+			return c, nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return nil, fmt.Errorf("encoding: unknown codec %q (have %v)", name, names)
+}
+
+// Names lists the registered codec names in registry order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, c := range registry {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// putUvarint appends v to dst in LEB128 form and returns the extended slice.
+func putUvarint(dst []byte, v uint64) []byte {
+	for v >= 0x80 {
+		dst = append(dst, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(dst, byte(v))
+}
+
+// getUvarint reads a LEB128 value from src, returning the value and the
+// number of bytes consumed (0 with an error on truncation/overflow).
+func getUvarint(src []byte) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for i, b := range src {
+		if shift >= 64 {
+			return 0, 0, corruptf("uvarint overflow")
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, i + 1, nil
+		}
+		shift += 7
+	}
+	return 0, 0, corruptf("truncated uvarint")
+}

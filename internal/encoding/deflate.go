@@ -1,0 +1,79 @@
+package encoding
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+)
+
+// Deflate wraps the standard library's DEFLATE (LZ77 + Huffman) at the
+// default compression level, standing in for nvCOMP's Deflate codec: a high
+// compression ratio from the entropy-coding stage, at low throughput — the
+// trade-off Table 2 reports.
+type Deflate struct{}
+
+// Name implements Codec.
+func (Deflate) Name() string { return "Deflate" }
+
+// Encode implements Codec.
+func (Deflate) Encode(src []byte) []byte { return flateEncode(src, flate.DefaultCompression) }
+
+// Decode implements Codec.
+func (Deflate) Decode(src []byte) ([]byte, error) { return flateDecode(src, "Deflate") }
+
+// Gdeflate stands in for nvCOMP's GDeflate, "a variant of Deflate [that]
+// achieves a high compression ratio through entropy coding but low
+// throughput (similar to Deflate)" (§5.2). It runs DEFLATE at the maximum
+// compression level: a slightly better ratio than Deflate, comparable
+// (slow) speed.
+type Gdeflate struct{}
+
+// Name implements Codec.
+func (Gdeflate) Name() string { return "Gdeflate" }
+
+// Encode implements Codec.
+func (Gdeflate) Encode(src []byte) []byte { return flateEncode(src, flate.BestCompression) }
+
+// Decode implements Codec.
+func (Gdeflate) Decode(src []byte) ([]byte, error) { return flateDecode(src, "Gdeflate") }
+
+func flateEncode(src []byte, level int) []byte {
+	out := putUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return out
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		// Only reachable with an invalid level constant; treat as a
+		// programmer error.
+		panic("encoding: flate.NewWriter: " + err.Error())
+	}
+	if _, err := w.Write(src); err != nil {
+		panic("encoding: flate write: " + err.Error())
+	}
+	if err := w.Close(); err != nil {
+		panic("encoding: flate close: " + err.Error())
+	}
+	return append(out, buf.Bytes()...)
+}
+
+func flateDecode(src []byte, name string) ([]byte, error) {
+	n, consumed, err := getUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if n > 1<<33 {
+		return nil, corruptf("%s: implausible length %d", name, n)
+	}
+	r := flate.NewReader(bytes.NewReader(src[consumed:]))
+	defer r.Close()
+	dst := make([]byte, n)
+	if _, err := io.ReadFull(r, dst); err != nil {
+		return nil, corruptf("%s: %v", name, err)
+	}
+	return dst, nil
+}

@@ -1,0 +1,57 @@
+package encoding
+
+import (
+	"math/bits"
+
+	"compso/internal/bitstream"
+)
+
+// Elias-gamma coding of positive integers, the variable-length integer code
+// QSGD uses for its quantized gradient magnitudes [2]. A value v >= 1 is
+// written as (bitlen(v)-1) zero bits followed by the bitlen(v) bits of v
+// MSB-first — short codes for the small magnitudes that dominate quantized
+// gradients.
+
+// EliasGammaEncode appends the gamma code of v (which must be >= 1) to w.
+// It panics on v == 0; callers encode value+1 when zeros are possible.
+func EliasGammaEncode(w *bitstream.Writer, v uint64) {
+	if v == 0 {
+		panic("encoding: Elias gamma cannot encode 0")
+	}
+	n := uint(bits.Len64(v)) // number of significant bits
+	for i := uint(1); i < n; i++ {
+		w.WriteBit(0)
+	}
+	// Emit the n bits of v MSB-first (leading bit is always 1 and doubles
+	// as the unary terminator).
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(v >> uint(i))
+	}
+}
+
+// EliasGammaDecode reads one gamma-coded value from r.
+func EliasGammaDecode(r *bitstream.Reader) (uint64, error) {
+	zeros := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros >= 57 {
+			return 0, corruptf("Elias gamma: run of %d zeros", zeros)
+		}
+	}
+	v := uint64(1)
+	for i := uint(0); i < zeros; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}

@@ -1,0 +1,79 @@
+package encoding
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"compso/internal/bitstream"
+)
+
+func TestEliasGammaKnownCodes(t *testing.T) {
+	// gamma(1) = "1", gamma(2) = "010", gamma(3) = "011", gamma(4)="00100".
+	w := bitstream.NewWriter(4)
+	EliasGammaEncode(w, 1)
+	EliasGammaEncode(w, 2)
+	EliasGammaEncode(w, 4)
+	if got := w.BitLen(); got != 1+3+5 {
+		t.Fatalf("BitLen = %d, want 9", got)
+	}
+	r := bitstream.NewReader(w.Bytes())
+	for _, want := range []uint64{1, 2, 4} {
+		got, err := EliasGammaDecode(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("decoded %d, want %d", got, want)
+		}
+	}
+}
+
+func TestEliasGammaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	values := make([]uint64, 2000)
+	w := bitstream.NewWriter(1 << 12)
+	for i := range values {
+		// Bias toward small values like quantized gradients.
+		values[i] = uint64(rng.ExpFloat64()*10) + 1
+		EliasGammaEncode(w, values[i])
+	}
+	r := bitstream.NewReader(w.Bytes())
+	for i, want := range values {
+		got, err := EliasGammaDecode(r)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEliasGammaZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EliasGammaEncode(0) did not panic")
+		}
+	}()
+	EliasGammaEncode(bitstream.NewWriter(1), 0)
+}
+
+func TestEliasGammaSmallValuesShortCodes(t *testing.T) {
+	// The whole point of gamma coding in QSGD: small magnitudes dominate,
+	// so they must get short codes.
+	w1 := bitstream.NewWriter(1)
+	EliasGammaEncode(w1, 1)
+	w100 := bitstream.NewWriter(1)
+	EliasGammaEncode(w100, 100)
+	if w1.BitLen() >= w100.BitLen() {
+		t.Fatalf("gamma(1)=%d bits >= gamma(100)=%d bits", w1.BitLen(), w100.BitLen())
+	}
+}
+
+func TestEliasGammaCorruptStream(t *testing.T) {
+	// A long run of zero bits must be rejected, not spin forever.
+	r := bitstream.NewReader(make([]byte, 32))
+	if _, err := EliasGammaDecode(r); err == nil {
+		t.Fatal("decoding zeros succeeded")
+	}
+}

@@ -1,0 +1,43 @@
+package encoding
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Decoder fuzzing: arbitrary input must never panic or hang — only return
+// data or an error. Valid encodings must round-trip.
+
+func fuzzCodec(f *testing.F, c Codec) {
+	f.Helper()
+	for _, seed := range [][]byte{
+		nil,
+		{0},
+		{0xff, 0xff, 0xff},
+		c.Encode([]byte("hello hello hello")),
+		c.Encode(make([]byte, 1000)),
+		c.Encode([]byte{1, 2, 3, 4, 5, 255, 254, 253}),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode of an actual encoding must round-trip.
+		reenc := c.Encode(out)
+		back, err := c.Decode(reenc)
+		if err != nil || !bytes.Equal(back, out) {
+			t.Fatalf("re-encode round trip failed: %v", err)
+		}
+	})
+}
+
+func FuzzANSDecode(f *testing.F)      { fuzzCodec(f, ANS{}) }
+func FuzzBitcompDecode(f *testing.F)  { fuzzCodec(f, Bitcomp{}) }
+func FuzzCascadedDecode(f *testing.F) { fuzzCodec(f, Cascaded{}) }
+func FuzzLZ4Decode(f *testing.F)      { fuzzCodec(f, LZ4{}) }
+func FuzzSnappyDecode(f *testing.F)   { fuzzCodec(f, Snappy{}) }
+func FuzzZstdDecode(f *testing.F)     { fuzzCodec(f, Zstd{}) }
+func FuzzHuffmanDecode(f *testing.F)  { fuzzCodec(f, Huffman{}) }

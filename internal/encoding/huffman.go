@@ -1,0 +1,205 @@
+package encoding
+
+import (
+	"container/heap"
+	"sort"
+
+	"compso/internal/bitstream"
+)
+
+// Huffman is a canonical Huffman coder over bytes. It is not part of the
+// nvCOMP Table 2 set; it exists as the entropy stage of the SZ baseline
+// compressor, which the paper describes as "prediction, RN-based
+// quantization, and Huffman encoding" (§2.4).
+type Huffman struct{}
+
+// Name implements Codec.
+func (Huffman) Name() string { return "Huffman" }
+
+const huffMaxCodeLen = 57 // bounded by bitstream.Reader's width limit
+
+// Encode implements Codec.
+func (Huffman) Encode(src []byte) []byte {
+	out := putUvarint(nil, uint64(len(src)))
+	if len(src) == 0 {
+		return out
+	}
+	var counts [256]int
+	for _, b := range src {
+		counts[b]++
+	}
+	lens := huffCodeLengths(counts[:])
+	codes := canonicalCodes(lens)
+
+	// Header: 256 code lengths, 6 bits each (lengths <= 57 fit).
+	w := bitstream.NewWriter(len(src)/2 + 200)
+	for _, l := range lens {
+		w.WriteBits(uint64(l), 6)
+	}
+	for _, b := range src {
+		// Canonical codes compare MSB-first, so emit them bit by bit from
+		// the top; the LSB-first bitstream would otherwise reverse them.
+		c, l := codes[b], lens[b]
+		for k := l - 1; k >= 0; k-- {
+			w.WriteBit(c >> uint(k))
+		}
+	}
+	return append(out, w.Bytes()...)
+}
+
+// Decode implements Codec.
+func (Huffman) Decode(src []byte) ([]byte, error) {
+	n, consumed, err := getUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if n > 1<<33 {
+		return nil, corruptf("Huffman: implausible length %d", n)
+	}
+	r := bitstream.NewReader(src[consumed:])
+	lens := make([]int, 256)
+	for i := range lens {
+		v, err := r.ReadBits(6)
+		if err != nil {
+			return nil, corruptf("Huffman: truncated length table")
+		}
+		lens[i] = int(v)
+	}
+	codes := canonicalCodes(lens)
+	// Build a decode map keyed by (length, code). Symbol counts are tiny,
+	// so a map is fine; hot paths in the compressors use ANS, not Huffman.
+	type key struct {
+		len  int
+		code uint64
+	}
+	decode := make(map[key]byte)
+	for s, l := range lens {
+		if l > 0 {
+			decode[key{l, codes[s]}] = byte(s)
+		}
+	}
+	dst := make([]byte, 0, n)
+	for uint64(len(dst)) < n {
+		var code uint64
+		length := 0
+		for {
+			bit, err := r.ReadBit()
+			if err != nil {
+				return nil, corruptf("Huffman: truncated body at output %d", len(dst))
+			}
+			// Canonical codes are assigned MSB-first; accumulate that way.
+			code = code<<1 | bit
+			length++
+			if length > huffMaxCodeLen {
+				return nil, corruptf("Huffman: code longer than %d bits", huffMaxCodeLen)
+			}
+			if s, ok := decode[key{length, code}]; ok {
+				dst = append(dst, s)
+				break
+			}
+		}
+	}
+	return dst, nil
+}
+
+// huffCodeLengths builds Huffman code lengths from symbol counts using the
+// standard two-queue/heap algorithm. Single-symbol inputs get length 1.
+func huffCodeLengths(counts []int) []int {
+	lens := make([]int, len(counts))
+	type node struct {
+		weight      int
+		sym         int // >= 0 for leaves
+		left, right int // indices into nodes for internal
+	}
+	nodes := make([]node, 0, 2*len(counts))
+	h := &nodeHeap{}
+	for s, c := range counts {
+		if c > 0 {
+			nodes = append(nodes, node{weight: c, sym: s, left: -1, right: -1})
+			heap.Push(h, heapItem{weight: c, idx: len(nodes) - 1})
+		}
+	}
+	if h.Len() == 1 {
+		lens[nodes[0].sym] = 1
+		return lens
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(heapItem)
+		b := heap.Pop(h).(heapItem)
+		nodes = append(nodes, node{weight: a.weight + b.weight, sym: -1, left: a.idx, right: b.idx})
+		heap.Push(h, heapItem{weight: a.weight + b.weight, idx: len(nodes) - 1})
+	}
+	// Depth-first traversal assigning depths as lengths.
+	root := heap.Pop(h).(heapItem).idx
+	type frame struct{ idx, depth int }
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[f.idx]
+		if nd.sym >= 0 {
+			lens[nd.sym] = f.depth
+			continue
+		}
+		stack = append(stack, frame{nd.left, f.depth + 1}, frame{nd.right, f.depth + 1})
+	}
+	// Cap pathological depths (only reachable with adversarial count
+	// distributions beyond 2^57 total) — flatten by rebuilding as depth-57.
+	for s, l := range lens {
+		if l > huffMaxCodeLen {
+			lens[s] = huffMaxCodeLen
+		}
+	}
+	return lens
+}
+
+// canonicalCodes assigns canonical (MSB-first) codes from code lengths.
+func canonicalCodes(lens []int) []uint64 {
+	type symLen struct{ sym, len int }
+	order := make([]symLen, 0, len(lens))
+	for s, l := range lens {
+		if l > 0 {
+			order = append(order, symLen{s, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].len != order[j].len {
+			return order[i].len < order[j].len
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := make([]uint64, len(lens))
+	var code uint64
+	prevLen := 0
+	for _, sl := range order {
+		code <<= uint(sl.len - prevLen)
+		codes[sl.sym] = code
+		code++
+		prevLen = sl.len
+	}
+	return codes
+}
+
+type heapItem struct{ weight, idx int }
+
+type nodeHeap []heapItem
+
+func (h nodeHeap) Len() int      { return len(h) }
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].idx < h[j].idx
+}
+func (h *nodeHeap) Push(x any) { *h = append(*h, x.(heapItem)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

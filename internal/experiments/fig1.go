@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compso/internal/cluster"
+	"compso/internal/modelzoo"
+)
+
+// Figure 1: time breakdown of distributed K-FAC training per iteration —
+// KFAC Allgather, KFAC Allreduce, KFAC Computations, Forward+Backward, and
+// Others — across the four models and {16, 32, 64} compute nodes (four
+// GPUs per node).
+
+// Breakdown holds one configuration's per-iteration seconds by category.
+type Breakdown struct {
+	Model string
+	Nodes int
+	GPUs  int
+	// Seconds per iteration by category, and the total.
+	Allgather, Allreduce, KFACCompute, FwdBwd, Others, Total float64
+}
+
+// Percent returns the categories as percentages of the total, in the
+// paper's stacking order (Allgather, Allreduce, KFACCompute, FwdBwd,
+// Others).
+func (b Breakdown) Percent() [5]float64 {
+	if b.Total == 0 {
+		return [5]float64{}
+	}
+	return [5]float64{
+		100 * b.Allgather / b.Total,
+		100 * b.Allreduce / b.Total,
+		100 * b.KFACCompute / b.Total,
+		100 * b.FwdBwd / b.Total,
+		100 * b.Others / b.Total,
+	}
+}
+
+// kfacTimingConstants are the KAISA amortization frequencies used across
+// the timing experiments.
+const (
+	statFreq = 10  // Kronecker factor refresh every 10 iterations
+	invFreq  = 100 // eigendecomposition refresh every 100 iterations
+	// ownershipImbalance inflates the per-worker K-FAC compute slice for
+	// round-robin layer assignment of unequal layers.
+	ownershipImbalance = 1.15
+	// othersFraction models data loading, batch-norm and optimizer-step
+	// time as a fraction of forward+backward.
+	othersFraction = 0.30
+)
+
+// IterationBreakdown computes the modeled per-iteration breakdown of
+// distributed K-FAC for one model on a platform with the given total GPU
+// count, with the all-gather payload scaled by compressionRatio (1 = no
+// compression) and (de)compression overhead added separately by callers
+// that model it.
+func IterationBreakdown(p modelzoo.Profile, cfg cluster.Config, gpus int, compressionRatio float64) Breakdown {
+	cm := modelzoo.A100Compute()
+	fwdBwd := cm.FwdBwdTime(p)
+
+	// Factor all-reduce: the Kronecker factors are symmetric, so only the
+	// triangular half is exchanged, and synchronization is amortized over
+	// the stat period (local running averages update every iteration).
+	allreduce := cfg.AllReduceTime(4*p.CovarianceFloats()/2, gpus) / statFreq
+
+	// K-FAC compute: covariance construction every iteration, plus the
+	// owned share of eigendecompositions (amortized) and preconditioning.
+	kfacCompute := cm.CovTime(p)
+	var eig, precond float64
+	for i := range p.Layers {
+		eig += cm.EigTime(p, i)
+		precond += cm.PrecondTime(p, i)
+	}
+	kfacCompute += (eig/invFreq + precond) / float64(gpus) * ownershipImbalance
+
+	// Preconditioned-gradient all-gather: per-group collectives over the
+	// layer-wise work split (no aggregation in the vanilla breakdown).
+	allgather := commTime(p, cfg, gpus, compressionRatio, 1)
+
+	// Others: data loading, norm layers and the optimizer step. The
+	// first-order gradient all-reduce overlaps with the backward pass
+	// (standard DDP bucketing) and is not a separate share, matching the
+	// paper's small "Others" slice.
+	others := othersFraction * fwdBwd
+
+	b := Breakdown{
+		Model: p.Name, Nodes: gpus / cfg.GPUsPerNode, GPUs: gpus,
+		Allgather: allgather, Allreduce: allreduce, KFACCompute: kfacCompute,
+		FwdBwd: fwdBwd, Others: others,
+	}
+	b.Total = allgather + allreduce + kfacCompute + fwdBwd + others
+	return b
+}
+
+// Figure1 regenerates the paper's Figure 1 on Platform 1.
+func Figure1() ([]Breakdown, *Table) {
+	cfg := cluster.Platform1()
+	var rows []Breakdown
+	table := &Table{
+		Title:   "Figure 1: time breakdown of distributed KFAC training (% of iteration)",
+		Headers: []string{"Model", "Nodes", "GPUs", "Allgather%", "Allreduce%", "KFAC-comp%", "Fwd+Bwd%", "Others%"},
+	}
+	for _, p := range modelzoo.All() {
+		for _, nodes := range []int{16, 32, 64} {
+			b := IterationBreakdown(p, cfg, nodes*cfg.GPUsPerNode, 1)
+			rows = append(rows, b)
+			pct := b.Percent()
+			table.Rows = append(table.Rows, []string{
+				b.Model, fmt.Sprint(nodes), fmt.Sprint(b.GPUs),
+				fmtF(pct[0], 1), fmtF(pct[1], 1), fmtF(pct[2], 1), fmtF(pct[3], 1), fmtF(pct[4], 1),
+			})
+		}
+	}
+	return rows, table
+}

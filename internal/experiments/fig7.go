@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/modelzoo"
+)
+
+// Figure 7: communication speedup of cuSZ, QSGD, CocktailSGD and COMPSO
+// compressed K-FAC gradient all-gathers across the four models, GPU counts
+// {8, 16, 32, 64} and both platforms. As in the paper, the communication
+// time excludes (de)compression overhead: the speedup isolates the benefit
+// of moving fewer bytes, with layer aggregation (m=4) applied.
+
+// Fig7Row is one (platform, model, method, GPU count) speedup.
+type Fig7Row struct {
+	Platform, Model, Method string
+	GPUs                    int
+	CR                      float64
+	Speedup                 float64
+}
+
+// fig7Compressors returns the Figure 7 method set in plot order.
+func fig7Compressors() []struct {
+	name string
+	mk   func() compress.Compressor
+} {
+	return []struct {
+		name string
+		mk   func() compress.Compressor
+	}{
+		{"cuSZ", func() compress.Compressor { return compress.NewSZ(4e-3) }},
+		{"QSGD", func() compress.Compressor { return compress.NewQSGD(8, 61) }},
+		{"CocktailSGD", func() compress.Compressor { return compress.NewCocktailSGD(0.2, 8, 62) }},
+		{"COMPSO", func() compress.Compressor { return compso.NewCompressor(nil, 0, 63) }},
+	}
+}
+
+// fig7AggM is the layer-aggregation factor for the communication study.
+const fig7AggM = 4
+
+// commTime models the per-iteration K-FAC all-gather time for a gradient
+// compressed at the given ratio: each worker owns ~1/gpus of the layers
+// (round-robin), aggregates them into groups of m, and in each round every
+// worker contributes its next group to a variable-size all-gather (KAISA
+// gathers each layer's result immediately on completion, so the exchange
+// is a sequence of per-group collectives, not one bulk transfer).
+func commTime(p modelzoo.Profile, cfg cluster.Config, gpus int, cr float64, m int) float64 {
+	// groupBytes[rank] = that worker's aggregated group sizes in order.
+	groupBytes := make([][]int, gpus)
+	rounds := 0
+	for rank := 0; rank < gpus; rank++ {
+		var group int
+		count := 0
+		for li := rank; li < len(p.Layers); li += gpus {
+			group += 4 * p.Layers[li].Params()
+			count++
+			if count == m {
+				groupBytes[rank] = append(groupBytes[rank], group)
+				group, count = 0, 0
+			}
+		}
+		if count > 0 {
+			groupBytes[rank] = append(groupBytes[rank], group)
+		}
+		if len(groupBytes[rank]) > rounds {
+			rounds = len(groupBytes[rank])
+		}
+	}
+	var total float64
+	sizes := make([]int, gpus)
+	for r := 0; r < rounds; r++ {
+		for rank := 0; rank < gpus; rank++ {
+			sizes[rank] = 0
+			if r < len(groupBytes[rank]) {
+				sizes[rank] = int(float64(groupBytes[rank][r]) / cr)
+			}
+		}
+		total += cfg.AllGatherVarTime(sizes, gpus)
+	}
+	return total
+}
+
+// Figure7 regenerates the communication-speedup comparison.
+func Figure7() ([]Fig7Row, *Table, error) {
+	var rows []Fig7Row
+	table := &Table{
+		Title:   "Figure 7: communication speedup of compressed KFAC gradients (agg m=4)",
+		Headers: []string{"Platform", "Model", "Method", "GPUs", "CR (x)", "Speedup (x)"},
+	}
+	for pi, cfg := range []cluster.Config{cluster.Platform1(), cluster.Platform2()} {
+		platform := fmt.Sprintf("Platform %d", pi+1)
+		for _, p := range modelzoo.All() {
+			// Measure each compressor's CR once per model.
+			for _, method := range fig7Compressors() {
+				cr, err := MeasureCR(p, method.mk(), fig7AggM, 900+int64(pi))
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, gpus := range []int{8, 16, 32, 64} {
+					base := commTime(p, cfg, gpus, 1, fig7AggM)
+					comp := commTime(p, cfg, gpus, cr, fig7AggM)
+					speedup := base / comp
+					rows = append(rows, Fig7Row{
+						Platform: platform, Model: p.Name, Method: method.name,
+						GPUs: gpus, CR: cr, Speedup: speedup,
+					})
+					table.Rows = append(table.Rows, []string{
+						platform, p.Name, method.name, fmt.Sprint(gpus),
+						fmtF(cr, 1), fmtF(speedup, 2),
+					})
+				}
+			}
+		}
+	}
+	return rows, table, nil
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/gpusim"
+	"compso/internal/modelzoo"
+	"compso/internal/perfmodel"
+)
+
+// Figure 9: end-to-end training speedup over uncompressed distributed
+// K-FAC for cuSZ, QSGD, CocktailSGD, COMPSO-f (fixed aggregation m=4) and
+// COMPSO-p (aggregation chosen by the performance model), across models,
+// GPU counts and both platforms. The iteration time combines the Figure 1
+// breakdown with compressed all-gathers and gpusim (de)compression
+// overhead.
+
+// Fig9Row is one configuration's speedup.
+type Fig9Row struct {
+	Platform, Model, Method string
+	GPUs                    int
+	Speedup                 float64
+	AggM                    int
+}
+
+// fig9Method couples a compressor with its GPU pipeline cost model and
+// aggregation policy.
+type fig9Method struct {
+	name     string
+	mk       func() compress.Compressor
+	pipeline gpusim.Pipeline
+	dynamicM bool // COMPSO-p: choose m via the performance model
+}
+
+func fig9Methods() []fig9Method {
+	return []fig9Method{
+		{"cuSZ", func() compress.Compressor { return compress.NewSZ(4e-3) }, gpusim.SZCUDA(), false},
+		{"QSGD", func() compress.Compressor { return compress.NewQSGD(8, 91) }, gpusim.QSGDCUDA(), false},
+		{"CocktailSGD", func() compress.Compressor { return compress.NewCocktailSGD(0.2, 8, 92) }, gpusim.CocktailTorch(), false},
+		{"COMPSO-f", func() compress.Compressor { return compso.NewCompressor(nil, 0, 93) }, gpusim.COMPSOFused(), false},
+		{"COMPSO-p", func() compress.Compressor { return compso.NewCompressor(nil, 0, 94) }, gpusim.COMPSOFused(), true},
+	}
+}
+
+// iterationTime returns the modeled per-iteration seconds with the given
+// compression ratio, aggregation factor and GPU compression pipeline
+// (pipeline == nil → no compression).
+func iterationTime(p modelzoo.Profile, cfg cluster.Config, gpus int, cr float64, m int, pipeline *gpusim.Pipeline) float64 {
+	b := IterationBreakdown(p, cfg, gpus, 1)
+	// Replace the uncompressed all-gather with aggregated, compressed
+	// groups plus the GPU (de)compression overhead.
+	allgather := commTime(p, cfg, gpus, cr, m)
+	overhead := 0.0
+	if pipeline != nil {
+		overhead = compressionOverhead(p, gpus, m, *pipeline)
+	}
+	return b.FwdBwd + b.Others + b.KFACCompute + b.Allreduce + allgather + overhead
+}
+
+// compressionOverhead models the per-iteration GPU cost of compressing the
+// worker's owned aggregation groups and decompressing every other worker's
+// groups. Kernel-launch overhead is paid per group, which is exactly why
+// small layers want aggregation: COMPSO-p's performance model trades group
+// size against message efficiency.
+func compressionOverhead(p modelzoo.Profile, gpus, m int, pipeline gpusim.Pipeline) float64 {
+	device := gpusim.A100()
+	var total float64
+	for rank := 0; rank < gpus && rank < len(p.Layers); rank++ {
+		group := 0
+		count := 0
+		flush := func() {
+			if group == 0 {
+				return
+			}
+			if rank == 0 {
+				total += device.Time(pipeline, group)
+			} else {
+				total += device.DecompressTime(pipeline, group)
+			}
+			group, count = 0, 0
+		}
+		for li := rank; li < len(p.Layers); li += gpus {
+			group += p.Layers[li].Params()
+			count++
+			if count == m {
+				flush()
+			}
+		}
+		flush()
+	}
+	return total
+}
+
+// Figure9 regenerates the end-to-end comparison.
+func Figure9() ([]Fig9Row, *Table, error) {
+	var rows []Fig9Row
+	table := &Table{
+		Title:   "Figure 9: end-to-end speedup over uncompressed distributed KFAC",
+		Headers: []string{"Platform", "Model", "Method", "GPUs", "m", "Speedup (x)"},
+	}
+	for pi, cfg := range []cluster.Config{cluster.Platform1(), cluster.Platform2()} {
+		platform := fmt.Sprintf("Platform %d", pi+1)
+		lt, err := perfmodel.BuildLookupTable(cfg, []int{8, 16, 32, 64})
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range modelzoo.All() {
+			for _, method := range fig9Methods() {
+				cr, err := MeasureCR(p, method.mk(), fig7AggM, 1100+int64(pi))
+				if err != nil {
+					return nil, nil, err
+				}
+				for _, gpus := range []int{8, 16, 32, 64} {
+					base := iterationTime(p, cfg, gpus, 1, 1, nil)
+					m := fig7AggM
+					if method.dynamicM {
+						m, err = chooseAggregation(lt, p, cfg, gpus, cr, method.pipeline)
+						if err != nil {
+							return nil, nil, err
+						}
+					}
+					pipeline := method.pipeline
+					comp := iterationTime(p, cfg, gpus, cr, m, &pipeline)
+					row := Fig9Row{
+						Platform: platform, Model: p.Name, Method: method.name,
+						GPUs: gpus, Speedup: base / comp, AggM: m,
+					}
+					rows = append(rows, row)
+					table.Rows = append(table.Rows, []string{
+						platform, p.Name, method.name, fmt.Sprint(gpus),
+						fmt.Sprint(m), fmtF(row.Speedup, 2),
+					})
+				}
+			}
+		}
+	}
+	return rows, table, nil
+}
+
+// chooseAggregation runs the performance model's m selection for COMPSO-p.
+func chooseAggregation(lt *perfmodel.LookupTable, p modelzoo.Profile, cfg cluster.Config, gpus int, cr float64, pipeline gpusim.Pipeline) (int, error) {
+	// Rank 0's owned layer sizes.
+	var ownedBytes []int
+	for li := 0; li < len(p.Layers); li += gpus {
+		ownedBytes = append(ownedBytes, 4*p.Layers[li].Params())
+	}
+	device := gpusim.A100()
+	nOwned := p.TotalParams() / gpus
+	compBps := 4 * float64(nOwned) / device.Time(pipeline, nOwned)
+	base := iterationTime(p, cfg, gpus, 1, 1, nil)
+	commBase := commTime(p, cfg, gpus, 1, 1)
+	prof := perfmodel.OnlineProfile{
+		CompressionRatio: cr,
+		CompressBps:      compBps,
+		DecompressBps:    compBps,
+		CommRatio:        commBase / base,
+	}
+	m, _, err := lt.BestAggregation(ownedBytes, gpus, prof)
+	return m, err
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/encoding"
+	"compso/internal/modelzoo"
+	"compso/internal/perfmodel"
+	"compso/internal/xrand"
+)
+
+// Table 2: overall compression ratio and (de)compression throughput of the
+// COMPSO pipeline with each of the eight lossless back-end encoders, on
+// ResNet-50 and BERT-large K-FAC gradient data. Throughput here is the real
+// measured throughput of this repository's Go implementations — absolute
+// GB/s are CPU-scale, but the ordering (entropy coders beating dictionary
+// coders on ratio; ANS balancing ratio and speed) is the paper's finding.
+
+// Table2Row is one encoder's measurement on one model.
+type Table2Row struct {
+	Model, Encoder string
+	CR             float64
+	CompressMBps   float64 // input MB/s
+	DecompressMBps float64
+}
+
+// table2SampleElems is the gradient sample size per measurement.
+const table2SampleElems = 1 << 21 // 8 MB of FP32
+
+// MeasureEncoder benchmarks the COMPSO pipeline with one back-end codec on
+// a model's gradient sample, returning CR and throughputs.
+func MeasureEncoder(p modelzoo.Profile, codec encoding.Codec, seed int64) (Table2Row, error) {
+	// Build a representative sample across layers.
+	comp := compress.NewCOMPSO(seed)
+	comp.Codec = codec
+	sample := profileSample(p, table2SampleElems, seed)
+
+	start := time.Now()
+	blob, err := comp.Compress(sample)
+	if err != nil {
+		return Table2Row{}, fmt.Errorf("experiments: %s/%s: %w", p.Name, codec.Name(), err)
+	}
+	compSec := time.Since(start).Seconds()
+
+	start = time.Now()
+	out, err := comp.Decompress(blob)
+	if err != nil {
+		return Table2Row{}, fmt.Errorf("experiments: %s/%s decompress: %w", p.Name, codec.Name(), err)
+	}
+	decompSec := time.Since(start).Seconds()
+	if len(out) != len(sample) {
+		return Table2Row{}, fmt.Errorf("experiments: %s/%s: round-trip length %d != %d", p.Name, codec.Name(), len(out), len(sample))
+	}
+	inputMB := float64(4*len(sample)) / 1e6
+	return Table2Row{
+		Model: p.Name, Encoder: codec.Name(),
+		CR:             compress.Ratio(len(sample), blob),
+		CompressMBps:   inputMB / compSec,
+		DecompressMBps: inputMB / decompSec,
+	}, nil
+}
+
+// profileSample draws ~n gradient elements spread across the profile's
+// layers.
+func profileSample(p modelzoo.Profile, n int, seed int64) []float32 {
+	rng := xrand.NewSeeded(seed)
+	perLayer := n / len(p.Layers)
+	if perLayer < 1024 {
+		perLayer = 1024
+	}
+	var sample []float32
+	for li := range p.Layers {
+		sample = append(sample, p.SyntheticGradient(rng, li, perLayer)...)
+		if len(sample) >= n {
+			break
+		}
+	}
+	return sample
+}
+
+// Table2 regenerates the encoder comparison and reports the encoder the
+// performance model selects for each model.
+func Table2() ([]Table2Row, *Table, error) {
+	var rows []Table2Row
+	table := &Table{
+		Title:   "Table 2: COMPSO pipeline CR and throughput per lossless encoder (Go implementations)",
+		Headers: []string{"Model", "Encoder", "CR (x)", "C-MB/s", "D-MB/s", "Selected"},
+	}
+	for _, modelName := range []string{"ResNet-50", "BERT-large"} {
+		p, err := modelzoo.ByName(modelName)
+		if err != nil {
+			return nil, nil, err
+		}
+		var ms []perfmodel.EncoderMeasurement
+		var modelRows []Table2Row
+		for _, codec := range encoding.All() {
+			row, err := MeasureEncoder(p, codec, 2024)
+			if err != nil {
+				return nil, nil, err
+			}
+			modelRows = append(modelRows, row)
+			ms = append(ms, perfmodel.EncoderMeasurement{
+				Name:             row.Encoder,
+				CompressionRatio: row.CR,
+				CompressBps:      row.CompressMBps * 1e6,
+				DecompressBps:    row.DecompressMBps * 1e6,
+			})
+		}
+		selected, err := selectEncoderFor(p, ms)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, row := range modelRows {
+			mark := ""
+			if row.Encoder == selected {
+				mark = "<=="
+			}
+			table.Rows = append(table.Rows, []string{
+				row.Model, row.Encoder, fmtF(row.CR, 2),
+				fmtF(row.CompressMBps, 1), fmtF(row.DecompressMBps, 1), mark,
+			})
+		}
+		rows = append(rows, modelRows...)
+	}
+	return rows, table, nil
+}
+
+// ansTargetBps anchors the throughput scale to the paper's measured ANS
+// compression throughput on A100 (43.52 GB/s, Table 2).
+const ansTargetBps = 43.52e9
+
+// selectEncoderFor runs the §4.4 encoder selection on the measured set.
+// The Go throughputs preserve the encoders' relative speeds but are
+// CPU-scale; the selection decision the paper makes is between GPU-scale
+// encoders, so all measurements are rescaled by one common factor anchoring
+// ANS to its A100 throughput before the model runs.
+func selectEncoderFor(p modelzoo.Profile, ms []perfmodel.EncoderMeasurement) (string, error) {
+	var ansBps float64
+	for _, m := range ms {
+		if m.Name == "ANS" {
+			ansBps = m.CompressBps
+		}
+	}
+	if ansBps > 0 {
+		factor := ansTargetBps / ansBps
+		scaled := make([]perfmodel.EncoderMeasurement, len(ms))
+		for i, m := range ms {
+			m.CompressBps *= factor
+			m.DecompressBps *= factor
+			scaled[i] = m
+		}
+		ms = scaled
+	}
+	lt, err := perfmodel.BuildLookupTable(cluster.Platform1(), []int{8, 16, 32, 64})
+	if err != nil {
+		return "", err
+	}
+	layerBytes := make([]int, 0, len(p.Layers))
+	for li := 0; li < len(p.Layers); li += 64 { // rank 0's owned layers at 64 GPUs
+		layerBytes = append(layerBytes, 4*p.Layers[li].Params())
+	}
+	best, err := lt.SelectEncoder(layerBytes, 64, fig7AggM, 0.35, ms)
+	if err != nil {
+		return "", err
+	}
+	return best.Name, nil
+}

@@ -1,0 +1,69 @@
+// Package filter implements the lossy filter stage of COMPSO's compression
+// pipeline (§4.3, step 1): values whose magnitude falls below the filter
+// error bound eb_f are dropped and recorded as ones in a bitmap; the
+// remaining values flow on to the stochastic-rounding quantizer. Because
+// K-FAC gradients concentrate most of their mass near zero, the bitmap plus
+// its lossless encoding is where most of COMPSO's compression-ratio
+// advantage over pure quantization comes from.
+package filter
+
+import (
+	"fmt"
+	"math"
+)
+
+// Apply partitions src by the filter bound: elements with |v| < ebf are
+// marked 1 in the returned bitmap (LSB-first within each byte) and omitted
+// from kept; the others are marked 0 and appended to kept in order.
+// Dropping a filtered value introduces an absolute error below ebf, so the
+// stage respects the same error-bound contract as the quantizer.
+func Apply(src []float32, ebf float64) (bitmap []byte, kept []float32) {
+	bitmap = make([]byte, (len(src)+7)/8)
+	kept = make([]float32, 0, len(src)/4)
+	for i, v := range src {
+		if math.Abs(float64(v)) < ebf {
+			bitmap[i/8] |= 1 << (i % 8)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	return bitmap, kept
+}
+
+// Restore rebuilds a length-n value slice from a bitmap and the kept
+// values: filtered positions become 0, the rest consume kept in order.
+// It returns an error if the bitmap is too short for n or if the number of
+// zero bits does not match len(kept).
+func Restore(bitmap []byte, n int, kept []float32) ([]float32, error) {
+	if len(bitmap) < (n+7)/8 {
+		return nil, fmt.Errorf("filter: bitmap of %d bytes too short for %d values", len(bitmap), n)
+	}
+	out := make([]float32, n)
+	k := 0
+	for i := 0; i < n; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			continue // filtered → zero
+		}
+		if k >= len(kept) {
+			return nil, fmt.Errorf("filter: bitmap expects more than %d kept values", len(kept))
+		}
+		out[i] = kept[k]
+		k++
+	}
+	if k != len(kept) {
+		return nil, fmt.Errorf("filter: %d kept values unused (bitmap expects %d)", len(kept)-k, k)
+	}
+	return out, nil
+}
+
+// Count returns the number of filtered (dropped) elements among the first
+// n bits of the bitmap.
+func Count(bitmap []byte, n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if bitmap[i/8]&(1<<(i%8)) != 0 {
+			count++
+		}
+	}
+	return count
+}

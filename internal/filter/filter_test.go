@@ -1,0 +1,132 @@
+package filter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"compso/internal/xrand"
+)
+
+func TestApplyRestoreRoundTrip(t *testing.T) {
+	src := []float32{0.001, -0.5, 0.0001, 0.3, -0.002, 0.9}
+	const ebf = 4e-3
+	bitmap, kept := Apply(src, ebf)
+	if len(kept) != 3 {
+		t.Fatalf("kept %d values, want 3", len(kept))
+	}
+	out, err := Restore(bitmap, len(src), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range src {
+		if math.Abs(float64(v)) < ebf {
+			if out[i] != 0 {
+				t.Fatalf("filtered position %d = %g, want 0", i, out[i])
+			}
+		} else if out[i] != v {
+			t.Fatalf("kept position %d = %g, want %g", i, out[i], v)
+		}
+	}
+}
+
+func TestApplyErrorBound(t *testing.T) {
+	rng := xrand.NewSeeded(1)
+	src := make([]float32, 50000)
+	xrand.KFACGradient(rng, src, 1.0)
+	const ebf = 4e-3
+	bitmap, kept := Apply(src, ebf)
+	out, err := Restore(bitmap, len(src), kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if e := math.Abs(float64(out[i] - src[i])); e >= ebf {
+			t.Fatalf("filter error %g at %d >= bound %g", e, i, ebf)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	src := []float32{0, 1, 0, 1, 0}
+	bitmap, _ := Apply(src, 0.5)
+	if got := Count(bitmap, len(src)); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}
+
+func TestApplyEmptyInput(t *testing.T) {
+	bitmap, kept := Apply(nil, 1)
+	if len(bitmap) != 0 || len(kept) != 0 {
+		t.Fatal("nonempty output for empty input")
+	}
+	out, err := Restore(bitmap, 0, kept)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("Restore empty: %v, len %d", err, len(out))
+	}
+}
+
+func TestApplyBoundaryValueIsKept(t *testing.T) {
+	// The filter drops strictly-below-bound values; |v| == ebf is kept.
+	bitmap, kept := Apply([]float32{4e-3}, 4e-3)
+	if Count(bitmap, 1) != 0 || len(kept) != 1 {
+		t.Fatal("boundary value was filtered")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	src := []float32{0.001, 0.5, 0.002}
+	bitmap, kept := Apply(src, 4e-3)
+	if _, err := Restore(bitmap[:0], len(src), kept); err == nil {
+		t.Fatal("short bitmap accepted")
+	}
+	if _, err := Restore(bitmap, len(src), nil); err == nil {
+		t.Fatal("missing kept values accepted")
+	}
+	if _, err := Restore(bitmap, len(src), append(kept, 1, 2)); err == nil {
+		t.Fatal("excess kept values accepted")
+	}
+}
+
+func TestHighFilterMassOnKFACGradients(t *testing.T) {
+	// COMPSO's CR advantage depends on the filter removing a large
+	// fraction of K-FAC gradient values at eb_f = 4e-3.
+	rng := xrand.NewSeeded(2)
+	src := make([]float32, 100000)
+	xrand.KFACGradient(rng, src, 1.0)
+	bitmap, _ := Apply(src, 4e-3)
+	frac := float64(Count(bitmap, len(src))) / float64(len(src))
+	if frac < 0.4 {
+		t.Fatalf("filter removed only %.1f%%, want >= 40%%", frac*100)
+	}
+}
+
+func TestApplyRestoreProperty(t *testing.T) {
+	f := func(raw []float32, ebMilli uint8) bool {
+		eb := float64(ebMilli)/255*0.1 + 1e-6
+		// Replace NaN/Inf, which gradients never contain.
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				raw[i] = 0
+			}
+		}
+		bitmap, kept := Apply(raw, eb)
+		out, err := Restore(bitmap, len(raw), kept)
+		if err != nil {
+			return false
+		}
+		for i := range raw {
+			if math.Abs(float64(raw[i])) < eb {
+				if out[i] != 0 {
+					return false
+				}
+			} else if out[i] != raw[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

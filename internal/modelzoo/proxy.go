@@ -1,0 +1,153 @@
+package modelzoo
+
+import (
+	"math/rand/v2"
+
+	"compso/internal/dataset"
+	"compso/internal/nn"
+)
+
+// Proxy trainable models: laptop-scale stand-ins preserving each paper
+// model's architectural family (CNN vs transformer-style) for the
+// convergence experiments (Figure 6, Table 1). The full-size models exist
+// only as shape profiles; these train for real.
+
+// ProxyTask couples a trainable model with its synthetic dataset and loss.
+type ProxyTask struct {
+	Name  string
+	Model *nn.Sequential
+	Data  dataset.Generator
+	Loss  nn.Loss
+	Batch int
+	// BaseLR is the first-order (SGD) learning rate; KFACLR the K-FAC one.
+	// Transformer proxies need a much smaller K-FAC step (their attention
+	// factors are poorly conditioned early, so preconditioned updates are
+	// large) and heavier damping — mirroring how the real K-FAC systems
+	// tune per-model.
+	BaseLR float64
+	KFACLR float64
+	// KFACDamping overrides the default damping when > 0.
+	KFACDamping float64
+	Classes     int // 0 for regression tasks
+}
+
+// ProxyResNet builds the ResNet-50 stand-in: a small CNN classifier on
+// synthetic images.
+func ProxyResNet(rng *rand.Rand, dataSeed int64) *ProxyTask {
+	const c, h, w, classes = 1, 10, 10, 10
+	conv1 := nn.NewConv2D(c, h, w, 6, 3, rng)
+	conv2 := nn.NewConv2D(6, conv1.OH, conv1.OW, 8, 3, rng)
+	model := nn.NewSequential(
+		conv1,
+		nn.NewReLU(),
+		conv2,
+		nn.NewReLU(),
+		nn.NewDense(conv2.OutFeatures(), 32, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, classes, rng),
+	)
+	return &ProxyTask{
+		Name:  "ResNet-50",
+		Model: model,
+		Data:  dataset.NewImageClassification(classes, c, h, w, 0.8, dataSeed),
+		Loss:  nn.SoftmaxCrossEntropy{}, Batch: 32,
+		BaseLR: 0.03, KFACLR: 0.03, Classes: classes,
+	}
+}
+
+// ProxyMaskRCNN builds the Mask R-CNN stand-in: a CNN bounding-box
+// regressor evaluated by validation loss, as the paper reports Mask R-CNN.
+func ProxyMaskRCNN(rng *rand.Rand, dataSeed int64) *ProxyTask {
+	const c, h, w = 1, 12, 12
+	conv1 := nn.NewConv2D(c, h, w, 6, 3, rng)
+	conv2 := nn.NewConv2D(6, conv1.OH, conv1.OW, 8, 3, rng)
+	model := nn.NewSequential(
+		conv1,
+		nn.NewReLU(),
+		conv2,
+		nn.NewReLU(),
+		nn.NewDense(conv2.OutFeatures(), 32, rng),
+		nn.NewReLU(),
+		nn.NewDense(32, 4, rng),
+	)
+	_ = dataSeed
+	return &ProxyTask{
+		Name:  "Mask R-CNN",
+		Model: model,
+		Data:  dataset.NewDetection(c, h, w, 0.3),
+		Loss:  nn.MSE{}, Batch: 32,
+		BaseLR: 0.05, KFACLR: 0.05,
+	}
+}
+
+// ProxyBERT builds the BERT-large stand-in: a genuine (tiny) transformer —
+// token+position embeddings, a residual multi-head self-attention block
+// whose Q/K/V/output projections K-FAC preconditions, per-token layer
+// norm, and a pooled classification head.
+func ProxyBERT(rng *rand.Rand, dataSeed int64) *ProxyTask {
+	const vocab, seqLen, dim, classes = 24, 12, 16, 4
+	model := nn.NewSequential(
+		nn.NewEmbeddingSeq(vocab, dim, seqLen, rng),
+		nn.NewSelfAttention(seqLen, dim, 2, rng),
+		nn.NewSeqLayerNorm(seqLen, dim),
+		nn.NewMeanPool(seqLen, dim),
+		nn.NewDense(dim, 32, rng),
+		nn.NewGELU(),
+		nn.NewDense(32, classes, rng),
+	)
+	return &ProxyTask{
+		Name:  "BERT-large",
+		Model: model,
+		Data:  dataset.NewTextClassification(classes, vocab, seqLen, dataSeed),
+		Loss:  nn.SoftmaxCrossEntropy{}, Batch: 32,
+		BaseLR: 0.05, KFACLR: 0.03, KFACDamping: 1.0, Classes: classes,
+	}
+}
+
+// ProxyGPT builds the GPT-neo-125M stand-in: the same transformer family
+// as ProxyBERT but evaluated by validation loss on a harder class
+// structure, matching how the paper reports GPT-neo.
+func ProxyGPT(rng *rand.Rand, dataSeed int64) *ProxyTask {
+	const vocab, seqLen, dim, classes = 24, 12, 16, 6
+	model := nn.NewSequential(
+		nn.NewEmbeddingSeq(vocab, dim, seqLen, rng),
+		nn.NewSelfAttention(seqLen, dim, 2, rng),
+		nn.NewSeqLayerNorm(seqLen, dim),
+		nn.NewMeanPool(seqLen, dim),
+		nn.NewDense(dim, 48, rng),
+		nn.NewGELU(),
+		nn.NewDense(48, classes, rng),
+	)
+	return &ProxyTask{
+		Name:  "GPT-neo-125M",
+		Model: model,
+		Data:  dataset.NewTextClassification(classes, vocab, seqLen, dataSeed+1),
+		Loss:  nn.SoftmaxCrossEntropy{}, Batch: 32,
+		BaseLR: 0.05, KFACLR: 0.03, KFACDamping: 1.0, Classes: classes,
+	}
+}
+
+// ProxySQuAD builds the SQuAD fine-tuning stand-in: span extraction with a
+// joint (start, length) softmax head, scored by F1/exact match (Table 1).
+func ProxySQuAD(rng *rand.Rand, dataSeed int64) (*ProxyTask, *dataset.SpanExtraction) {
+	const vocab, seqLen, maxLen = 16, 12, 3
+	data := dataset.NewSpanExtraction(vocab, seqLen, maxLen)
+	// Span extraction is position-sensitive, so the model consumes the raw
+	// token values positionally (an embedding mean-pool would discard where
+	// the trigger token sits).
+	model := nn.NewSequential(
+		nn.NewDense(seqLen, 96, rng),
+		nn.NewGELU(),
+		nn.NewDense(96, 96, rng),
+		nn.NewGELU(),
+		nn.NewDense(96, data.Classes(), rng),
+	)
+	_ = dataSeed
+	return &ProxyTask{
+		Name:  "BERT-large/SQuAD",
+		Model: model,
+		Data:  data,
+		Loss:  nn.SoftmaxCrossEntropy{}, Batch: 32,
+		BaseLR: 0.02, KFACLR: 0.02, Classes: data.Classes(),
+	}, data
+}

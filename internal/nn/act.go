@@ -1,0 +1,146 @@
+package nn
+
+import (
+	"math"
+
+	"compso/internal/tensor"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "relu" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := x.Clone()
+	if train {
+		if cap(r.mask) < len(x.Data) {
+			r.mask = make([]bool, len(x.Data))
+		}
+		r.mask = r.mask[:len(x.Data)]
+	}
+	for i, v := range x.Data {
+		keep := v > 0
+		if !keep {
+			out.Data[i] = 0
+		}
+		if train {
+			r.mask[i] = keep
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if len(r.mask) != len(gradOut.Data) {
+		panic("nn: ReLU.Backward shape mismatch with cached mask")
+	}
+	out := gradOut.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// GELU is the Gaussian error linear unit (tanh approximation), the
+// transformer-standard activation.
+type GELU struct {
+	lastInput *tensor.Matrix
+}
+
+// NewGELU returns a GELU layer.
+func NewGELU() *GELU { return &GELU{} }
+
+// Name implements Layer.
+func (g *GELU) Name() string { return "gelu" }
+
+// Params implements Layer.
+func (g *GELU) Params() []*Param { return nil }
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+func gelu(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+0.044715*x*x*x)))
+}
+
+func geluGrad(x float64) float64 {
+	inner := geluC * (x + 0.044715*x*x*x)
+	t := math.Tanh(inner)
+	sech2 := 1 - t*t
+	return 0.5*(1+t) + 0.5*x*sech2*geluC*(1+3*0.044715*x*x)
+}
+
+// Forward implements Layer.
+func (g *GELU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if train {
+		g.lastInput = x.Clone()
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = gelu(v)
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (g *GELU) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if g.lastInput == nil || len(g.lastInput.Data) != len(gradOut.Data) {
+		panic("nn: GELU.Backward shape mismatch")
+	}
+	out := tensor.New(gradOut.Rows, gradOut.Cols)
+	for i, v := range g.lastInput.Data {
+		out.Data[i] = gradOut.Data[i] * geluGrad(v)
+	}
+	return out
+}
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOutput *tensor.Matrix
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	if train {
+		t.lastOutput = out.Clone()
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if t.lastOutput == nil || len(t.lastOutput.Data) != len(gradOut.Data) {
+		panic("nn: Tanh.Backward shape mismatch")
+	}
+	out := tensor.New(gradOut.Rows, gradOut.Cols)
+	for i, y := range t.lastOutput.Data {
+		out.Data[i] = gradOut.Data[i] * (1 - y*y)
+	}
+	return out
+}

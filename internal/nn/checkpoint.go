@@ -1,0 +1,106 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpointing: Save serializes a model's parameters; Load restores them
+// into an identically constructed model (same layer stack and shapes).
+// The format is a simple self-describing binary: magic, parameter count,
+// then per parameter its name, dimensions and float64 values.
+
+const checkpointMagic = "COMPSOCKPT1"
+
+// Save writes all parameters of the model to w.
+func Save(model *Sequential, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(checkpointMagic); err != nil {
+		return fmt.Errorf("nn: save magic: %w", err)
+	}
+	params := model.Params()
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("nn: save count: %w", err)
+	}
+	for _, p := range params {
+		name := []byte(p.Name)
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.Write(name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.Rows)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(p.W.Cols)); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores parameters saved by Save into model, which must have the
+// same parameter sequence (names and shapes). It returns a descriptive
+// error on any mismatch or corruption.
+func Load(model *Sequential, r io.Reader) error {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("nn: load magic: %w", err)
+	}
+	if string(magic) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (magic %q)", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("nn: load count: %w", err)
+	}
+	params := model.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+	}
+	for i, p := range params {
+		var nameLen uint32
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return fmt.Errorf("nn: parameter %d name length: %w", i, err)
+		}
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: parameter %d name length %d implausible", i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("nn: parameter %d name: %w", i, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: parameter %d is %q in checkpoint, %q in model", i, name, p.Name)
+		}
+		var rows, cols uint32
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return err
+		}
+		if int(rows) != p.W.Rows || int(cols) != p.W.Cols {
+			return fmt.Errorf("nn: parameter %q is %dx%d in checkpoint, %dx%d in model",
+				p.Name, rows, cols, p.W.Rows, p.W.Cols)
+		}
+		for j := range p.W.Data {
+			var bits uint64
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("nn: parameter %q values: %w", p.Name, err)
+			}
+			p.W.Data[j] = math.Float64frombits(bits)
+		}
+	}
+	return nil
+}

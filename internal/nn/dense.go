@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"compso/internal/tensor"
+)
+
+// Dense is a fully connected layer y = [x 1]·W, with the bias folded into
+// the last row of W ((in+1)×out). The homogeneous-coordinate form is the
+// one K-FAC operates on: the activation factor A then covers weights and
+// bias together, as in the reference distributed K-FAC implementations.
+type Dense struct {
+	In, Out int
+	// Weight is the (In+1)×Out combined weight+bias matrix.
+	Weight *Param
+
+	lastInput  *tensor.Matrix // cached [x 1], batch×(In+1)
+	lastGradPA *tensor.Matrix // cached pre-activation gradient, batch×Out
+}
+
+// NewDense creates a Dense layer with He-initialized weights and zero bias.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	d := &Dense{In: in, Out: out, Weight: newParam(fmt.Sprintf("dense%dx%d", in, out), in+1, out)}
+	initMatrix(d.Weight.W, in, rng)
+	// Zero the bias row.
+	for j := 0; j < out; j++ {
+		d.Weight.W.Data[in*out+j] = 0
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("dense(%d->%d)", d.In, d.Out) }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight} }
+
+// appendOnes returns [x 1]: x with a trailing column of ones.
+func appendOnes(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols+1)
+	for i := 0; i < x.Rows; i++ {
+		copy(out.Data[i*out.Cols:], x.Data[i*x.Cols:(i+1)*x.Cols])
+		out.Data[i*out.Cols+x.Cols] = 1
+	}
+	return out
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: %s fed %d features", d.Name(), x.Cols))
+	}
+	withBias := appendOnes(x)
+	if train {
+		d.lastInput = withBias
+	}
+	return tensor.New(0, 0).MatMul(withBias, d.Weight.W)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if d.lastInput == nil {
+		panic("nn: Dense.Backward before training-mode Forward")
+	}
+	if gradOut.Rows != d.lastInput.Rows || gradOut.Cols != d.Out {
+		panic(fmt.Sprintf("nn: %s Backward got %dx%d", d.Name(), gradOut.Rows, gradOut.Cols))
+	}
+	d.lastGradPA = gradOut.Clone()
+	// ∂L/∂W = [x 1]ᵀ · gradOut.
+	gradW := tensor.New(0, 0).TMatMul(d.lastInput, gradOut)
+	d.Weight.Grad.AXPY(1, gradW)
+	// ∂L/∂x = gradOut · Wᵀ, dropping the bias column.
+	full := tensor.New(0, 0).MatMulT(gradOut, d.Weight.W)
+	gradIn := tensor.New(gradOut.Rows, d.In)
+	for i := 0; i < gradOut.Rows; i++ {
+		copy(gradIn.Data[i*d.In:(i+1)*d.In], full.Data[i*full.Cols:i*full.Cols+d.In])
+	}
+	return gradIn
+}
+
+// KFACStats implements KFACLayer.
+func (d *Dense) KFACStats() (act, grad *tensor.Matrix) {
+	if d.lastInput == nil || d.lastGradPA == nil {
+		panic("nn: Dense.KFACStats before Forward/Backward")
+	}
+	return d.lastInput, d.lastGradPA
+}
+
+// KFACParam implements KFACLayer.
+func (d *Dense) KFACParam() *Param { return d.Weight }

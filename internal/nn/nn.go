@@ -1,0 +1,171 @@
+// Package nn is the minimal neural-network substrate the proxy models train
+// on: layers with explicit forward/backward passes, parameter objects
+// shared with the optimizers, and the activation/pre-activation-gradient
+// capture that K-FAC's Kronecker factors are computed from (Eq. 1 of the
+// paper: A = a·aᵀ, G = g·gᵀ).
+//
+// All tensors are tensor.Matrix values with the batch dimension first.
+// Layers are not safe for concurrent use; in data-parallel training each
+// simulated GPU holds its own model replica.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"compso/internal/tensor"
+)
+
+// Param is a learnable parameter with its gradient, accumulated by a
+// layer's Backward and consumed (and typically zeroed) by an optimizer.
+type Param struct {
+	Name string
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// newParam allocates a parameter and matching zero gradient.
+func newParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, W: tensor.New(rows, cols), Grad: tensor.New(rows, cols)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad.Data {
+		p.Grad.Data[i] = 0
+	}
+}
+
+// Size returns the number of scalar parameters.
+func (p *Param) Size() int { return len(p.W.Data) }
+
+// Layer is one differentiable stage of a model.
+type Layer interface {
+	// Name identifies the layer in logs and K-FAC work assignment.
+	Name() string
+	// Forward computes the layer output for a batch×in input. When train is
+	// true the layer may cache whatever Backward and K-FAC need.
+	Forward(x *tensor.Matrix, train bool) *tensor.Matrix
+	// Backward consumes ∂L/∂output and returns ∂L/∂input, accumulating
+	// parameter gradients along the way. It must follow a training-mode
+	// Forward.
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	// Params returns the learnable parameters (empty for stateless layers).
+	Params() []*Param
+}
+
+// Composite is implemented by layers that contain sub-layers (e.g.
+// SelfAttention's four projections); Sequential recurses into them when
+// collecting K-FAC-preconditionable layers.
+type Composite interface {
+	SubLayers() []Layer
+}
+
+// KFACLayer is implemented by layers K-FAC can precondition. The stats are
+// those of the most recent training-mode Forward/Backward pair.
+type KFACLayer interface {
+	Layer
+	// KFACStats returns the activation rows (including the homogeneous
+	// bias coordinate) and the pre-activation gradient rows used to build
+	// the Kronecker factors A = E[aaᵀ] and G = E[ggᵀ].
+	KFACStats() (act, grad *tensor.Matrix)
+	// KFACParam returns the combined weight matrix of shape
+	// (in+1)×out that the preconditioned gradient applies to.
+	KFACParam() *Param
+}
+
+// Sequential chains layers into a model.
+type Sequential struct {
+	Layers []*namedLayer
+}
+
+type namedLayer struct {
+	Layer
+	uniqueName string
+}
+
+// NewSequential builds a model, assigning each layer a unique name of the
+// form "<index>-<layer name>".
+func NewSequential(layers ...Layer) *Sequential {
+	s := &Sequential{}
+	for i, l := range layers {
+		s.Layers = append(s.Layers, &namedLayer{Layer: l, uniqueName: fmt.Sprintf("%02d-%s", i, l.Name())})
+	}
+	return s
+}
+
+// Forward runs the whole stack.
+func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through the stack in reverse.
+func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params returns every learnable parameter in layer order.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// KFACLayers returns the K-FAC-preconditionable layers with their unique
+// names, in order — the unit of layer-wise work distribution in
+// distributed K-FAC. Composite layers are searched recursively.
+func (s *Sequential) KFACLayers() (names []string, layers []KFACLayer) {
+	var walk func(prefix string, l Layer)
+	walk = func(prefix string, l Layer) {
+		if k, ok := l.(KFACLayer); ok {
+			names = append(names, prefix)
+			layers = append(layers, k)
+			return
+		}
+		if c, ok := l.(Composite); ok {
+			for i, sub := range c.SubLayers() {
+				walk(fmt.Sprintf("%s/%02d-%s", prefix, i, sub.Name()), sub)
+			}
+		}
+	}
+	for _, l := range s.Layers {
+		walk(l.uniqueName, l.Layer)
+	}
+	return names, layers
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (s *Sequential) ParamCount() int {
+	total := 0
+	for _, p := range s.Params() {
+		total += p.Size()
+	}
+	return total
+}
+
+// initMatrix fills m with He initialization: N(0, sqrt(2/fanIn)).
+func initMatrix(m *tensor.Matrix, fanIn int, rng *rand.Rand) {
+	sigma := 1.0
+	if fanIn > 0 {
+		sigma = math.Sqrt(2 / float64(fanIn))
+	}
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * sigma
+	}
+}

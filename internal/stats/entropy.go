@@ -1,0 +1,36 @@
+package stats
+
+import "math"
+
+// ByteEntropy returns the order-0 Shannon entropy of the byte stream in
+// bits per byte — the theoretical floor for any order-0 entropy coder
+// (ANS, Huffman) and the yardstick the encoder ablation compares against.
+func ByteEntropy(data []byte) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	var counts [256]int
+	for _, b := range data {
+		counts[b]++
+	}
+	n := float64(len(data))
+	var h float64
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// EntropyCompressionBound returns the best compression ratio an order-0
+// coder can achieve on the stream (8 / entropy; +Inf for constant input).
+func EntropyCompressionBound(data []byte) float64 {
+	h := ByteEntropy(data)
+	if h == 0 {
+		return math.Inf(1)
+	}
+	return 8 / h
+}

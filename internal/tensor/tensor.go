@@ -1,0 +1,334 @@
+// Package tensor provides the dense linear-algebra primitives that the
+// K-FAC optimizer and the neural-network substrate are built on: matrices
+// with float64 storage, GEMM variants, Kronecker products, symmetric
+// eigendecomposition and Cholesky factorization.
+//
+// The package is deliberately small and allocation-conscious rather than
+// general: K-FAC needs square symmetric factor matrices (typically a few
+// hundred rows in the proxy models) and the layer math needs rectangular
+// GEMM. All hot loops are written over the flat backing slice.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+//
+// The zero value is an empty matrix; use New or FromSlice to create a
+// usable one. Methods that return a Matrix allocate the result unless
+// documented otherwise.
+type Matrix struct {
+	Rows, Cols int
+	// Data holds the elements in row-major order: element (i, j) lives at
+	// Data[i*Cols+j]. Len is always Rows*Cols.
+	Data []float64
+}
+
+// New returns a zero-filled matrix with the given dimensions.
+// It panics if either dimension is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (row-major) in a Matrix without copying.
+// It panics if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: slice length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// At returns element (i, j). Bounds are checked by the slice access.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Dims returns the (rows, cols) pair.
+func (m *Matrix) Dims() (int, int) { return m.Rows, m.Cols }
+
+// IsSquare reports whether m has as many rows as columns.
+func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
+
+// String renders small matrices for debugging; large matrices are elided.
+func (m *Matrix) String() string {
+	if m.Rows*m.Cols > 64 {
+		return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols)
+	}
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		s += "["
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+		s += "]\n"
+	}
+	return s
+}
+
+// Add stores a+b into m (m may alias a or b) and returns m.
+// It panics on dimension mismatch.
+func (m *Matrix) Add(a, b *Matrix) *Matrix {
+	checkSameDims(a, b)
+	m.reshape(a.Rows, a.Cols)
+	for i := range a.Data {
+		m.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return m
+}
+
+// Sub stores a−b into m (m may alias a or b) and returns m.
+func (m *Matrix) Sub(a, b *Matrix) *Matrix {
+	checkSameDims(a, b)
+	m.reshape(a.Rows, a.Cols)
+	for i := range a.Data {
+		m.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return m
+}
+
+// Scale stores s·a into m (m may alias a) and returns m.
+func (m *Matrix) Scale(s float64, a *Matrix) *Matrix {
+	m.reshape(a.Rows, a.Cols)
+	for i := range a.Data {
+		m.Data[i] = s * a.Data[i]
+	}
+	return m
+}
+
+// AXPY adds s·a into m element-wise and returns m.
+func (m *Matrix) AXPY(s float64, a *Matrix) *Matrix {
+	checkSameDims(m, a)
+	for i := range a.Data {
+		m.Data[i] += s * a.Data[i]
+	}
+	return m
+}
+
+// AddDiag adds v to every diagonal element of the square matrix m and
+// returns m.
+func (m *Matrix) AddDiag(v float64) *Matrix {
+	if !m.IsSquare() {
+		panic("tensor: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += v
+	}
+	return m
+}
+
+// Trace returns the sum of diagonal elements of a square matrix.
+func (m *Matrix) Trace() float64 {
+	if !m.IsSquare() {
+		panic("tensor: Trace on non-square matrix")
+	}
+	var t float64
+	for i := 0; i < m.Rows; i++ {
+		t += m.Data[i*m.Cols+i]
+	}
+	return t
+}
+
+// Transpose returns aᵀ as a new matrix.
+func (a *Matrix) Transpose() *Matrix {
+	t := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MatMul stores a·b into m and returns m. m must not alias a or b.
+// It panics if the inner dimensions disagree.
+func (m *Matrix) MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m.reshape(a.Rows, b.Cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	// i-k-j loop order keeps both b and m accesses sequential.
+	for i := 0; i < a.Rows; i++ {
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				mrow[j] += av * bv
+			}
+		}
+	}
+	return m
+}
+
+// MatMulT stores a·bᵀ into m and returns m. m must not alias a or b.
+func (m *Matrix) MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m.reshape(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var sum float64
+			for k, av := range arow {
+				sum += av * brow[k]
+			}
+			mrow[j] = sum
+		}
+	}
+	return m
+}
+
+// TMatMul stores aᵀ·b into m and returns m. m must not alias a or b.
+func (m *Matrix) TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: TMatMul (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	m.reshape(a.Cols, b.Cols)
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			mrow := m.Data[i*m.Cols : (i+1)*m.Cols]
+			for j, bv := range brow {
+				mrow[j] += av * bv
+			}
+		}
+	}
+	return m
+}
+
+// Kron returns the Kronecker product a ⊗ b as a new matrix.
+func Kron(a, b *Matrix) *Matrix {
+	k := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.At(i, j)
+			if av == 0 {
+				continue
+			}
+			for p := 0; p < b.Rows; p++ {
+				dst := k.Data[(i*b.Rows+p)*k.Cols+j*b.Cols : (i*b.Rows+p)*k.Cols+(j+1)*b.Cols]
+				src := b.Data[p*b.Cols : (p+1)*b.Cols]
+				for q, bv := range src {
+					dst[q] = av * bv
+				}
+			}
+		}
+	}
+	return k
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbs returns the maximum absolute element value (0 for empty matrices).
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Symmetrize replaces m with (m+mᵀ)/2, removing floating-point asymmetry
+// accumulated by running-average updates, and returns m.
+func (m *Matrix) Symmetrize() *Matrix {
+	if !m.IsSquare() {
+		panic("tensor: Symmetrize on non-square matrix")
+	}
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := (m.Data[i*n+j] + m.Data[j*n+i]) / 2
+			m.Data[i*n+j] = v
+			m.Data[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// MulVec stores a·x into dst and returns dst; dst is allocated when nil.
+// It panics if len(x) != a.Cols.
+func (a *Matrix) MulVec(dst, x []float64) []float64 {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: MulVec %dx%d · vec(%d)", a.Rows, a.Cols, len(x)))
+	}
+	if dst == nil {
+		dst = make([]float64, a.Rows)
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		dst[i] = sum
+	}
+	return dst
+}
+
+// reshape sets the dimensions of m, reusing Data when the capacity allows.
+func (m *Matrix) reshape(rows, cols int) {
+	n := rows * cols
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = rows, cols
+}
+
+func checkSameDims(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: dimension mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,462 @@
+// Package train orchestrates data-parallel training on the simulated
+// cluster: every worker holds an identically initialized model replica,
+// samples its own data shard, and synchronizes through the collectives of
+// the distributed K-FAC workflow (Figure 2 of the paper) — gradient
+// all-reduce, Kronecker-factor all-reduce, layer-wise eigendecomposition
+// and preconditioning on the owning worker, and the preconditioned-gradient
+// all-gather that the compressors hook into.
+package train
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"sync"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/nn"
+	"compso/internal/opt"
+	"compso/internal/xrand"
+)
+
+// Config describes one training run.
+type Config struct {
+	// BuildTask constructs the proxy task; it runs once per worker and
+	// must be deterministic in the given RNG so replicas start identical.
+	BuildTask func(rng *rand.Rand) *modelzoo.ProxyTask
+	// Workers is the simulated GPU count.
+	Workers int
+	// Platform is the simulated interconnect.
+	Platform cluster.Config
+	// Iters is the iteration budget.
+	Iters int
+	// Seed drives model init (shared) and per-worker data sampling.
+	Seed int64
+	// Schedule is the learning-rate schedule.
+	Schedule opt.Schedule
+	// UseKFAC selects the K-FAC path; otherwise momentum SGD.
+	UseKFAC bool
+	// KFAC is the optimizer configuration when UseKFAC is set.
+	KFAC kfac.Config
+	// StatFreq is how many iterations between Kronecker-factor
+	// all-reduces (KAISA amortization).
+	StatFreq int
+	// NewCompressor creates each worker's gradient compressor; nil trains
+	// uncompressed.
+	NewCompressor func(rank int) compress.Compressor
+	// Controller adapts COMPSO error bounds per iteration (only meaningful
+	// when NewCompressor yields *compress.COMPSO).
+	Controller *compso.Controller
+	// AggregationM groups this many layers per compression + all-gather
+	// unit (default 1).
+	AggregationM int
+	// CompressFactors enables compression of the Kronecker-factor
+	// exchange — the paper's second future-work item ("exploring
+	// compression techniques for intermediate data in KFAC, specifically
+	// the factor matrices A and G"). Each worker compresses its local
+	// factor contribution, the buffers are all-gathered, and every worker
+	// sums the decompressed replicas.
+	CompressFactors bool
+	// FactorEB is the absolute error bound for factor compression
+	// (default 1e-3). Factors are running-averaged statistics, so modest
+	// per-exchange error washes out.
+	FactorEB float64
+	// EvalEvery records validation metrics every this many iterations
+	// (default: Iters/20).
+	EvalEvery int
+	// EvalSize is the validation batch size (default 512).
+	EvalSize int
+}
+
+// Result is the training log collected on rank 0.
+type Result struct {
+	Method      string
+	Iterations  []int
+	Losses      []float64
+	Accuracies  []float64 // empty for regression tasks
+	FinalLoss   float64
+	FinalAcc    float64
+	MeanCR      float64 // mean compression ratio over all compress calls
+	CommSeconds map[string]float64
+	// Model is rank 0's trained replica, usable for post-hoc evaluation.
+	Model *nn.Sequential
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.StatFreq <= 0 {
+		cfg.StatFreq = 1
+	}
+	if cfg.AggregationM <= 0 {
+		cfg.AggregationM = 1
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = max(1, cfg.Iters/20)
+	}
+	if cfg.EvalSize <= 0 {
+		cfg.EvalSize = 512
+	}
+	if cfg.FactorEB <= 0 {
+		cfg.FactorEB = 1e-3
+	}
+	return cfg
+}
+
+// Run executes the training run and returns rank 0's log. Any worker error
+// aborts the run.
+func Run(c Config) (*Result, error) {
+	cfg := c.withDefaults()
+	if cfg.Workers <= 0 || cfg.Iters <= 0 || cfg.BuildTask == nil || cfg.Schedule == nil {
+		return nil, fmt.Errorf("train: incomplete config %+v", cfg)
+	}
+	cl := cluster.New(cfg.Platform, cfg.Workers)
+	result := &Result{CommSeconds: map[string]float64{}}
+	var mu sync.Mutex
+	var firstErr error
+	var crSum float64
+	var crCount int
+
+	workers := cl.Run(func(w *cluster.Worker) {
+		err := runWorker(w, cfg, result, &mu, &crSum, &crCount)
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("rank %d: %w", w.Rank(), err)
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if crCount > 0 {
+		result.MeanCR = crSum / float64(crCount)
+	}
+	merged, _ := cluster.MergeStats(workers)
+	for k, v := range merged {
+		result.CommSeconds[k] = v / float64(cfg.Workers)
+	}
+	return result, nil
+}
+
+// runWorker is the SPMD body.
+func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, crSum *float64, crCount *int) error {
+	// Identical model on every worker; distinct data stream per worker.
+	task := cfg.BuildTask(xrand.NewSeeded(cfg.Seed))
+	dataRng := xrand.NewSeeded(cfg.Seed*1000 + 7 + int64(w.Rank()))
+
+	var optimizer *kfac.KFAC
+	var sgd *opt.SGD
+	if cfg.UseKFAC {
+		optimizer = kfac.New(task.Model, cfg.KFAC)
+	} else {
+		sgd = opt.NewSGD(0.9, 0)
+	}
+	var comp compress.Compressor
+	if cfg.NewCompressor != nil {
+		comp = cfg.NewCompressor(w.Rank())
+	}
+
+	evalGen := func() *rand.Rand { return xrand.NewSeeded(cfg.Seed*77 + 13) }
+
+	for it := 0; it < cfg.Iters; it++ {
+		if cfg.Controller != nil {
+			if cc, ok := comp.(*compress.COMPSO); ok {
+				cfg.Controller.Apply(it, cc)
+			}
+		}
+		x, y := task.Data.Sample(dataRng, task.Batch)
+		logits := task.Model.Forward(x, true)
+		_, grad := task.Loss.Loss(logits, y)
+		task.Model.ZeroGrad()
+		task.Model.Backward(grad)
+
+		lr := cfg.Schedule.LR(it)
+		if cfg.UseKFAC {
+			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, crSum, crCount, mu); err != nil {
+				return err
+			}
+		} else {
+			if err := sgdIteration(w, task, sgd, comp, lr, crSum, crCount, mu); err != nil {
+				return err
+			}
+		}
+
+		if w.Rank() == 0 && ((it+1)%cfg.EvalEvery == 0 || it == cfg.Iters-1) {
+			ex, ey := task.Data.Sample(evalGen(), cfg.EvalSize)
+			out := task.Model.Forward(ex, false)
+			l, _ := task.Loss.Loss(out, ey)
+			acc := -1.0
+			if task.Classes > 0 {
+				acc = nn.Accuracy(out, ey)
+			}
+			mu.Lock()
+			result.Iterations = append(result.Iterations, it+1)
+			result.Losses = append(result.Losses, l)
+			if task.Classes > 0 {
+				result.Accuracies = append(result.Accuracies, acc)
+			}
+			result.FinalLoss = l
+			result.FinalAcc = acc
+			mu.Unlock()
+		}
+	}
+	if w.Rank() == 0 {
+		mu.Lock()
+		result.Model = task.Model
+		mu.Unlock()
+	}
+	return nil
+}
+
+// allReduceGrads averages all parameter gradients across workers.
+func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
+	params := model.Params()
+	total := 0
+	for _, p := range params {
+		total += len(p.Grad.Data)
+	}
+	buf := make([]float64, 0, total)
+	for _, p := range params {
+		buf = append(buf, p.Grad.Data...)
+	}
+	w.AllReduce(buf, category)
+	inv := 1.0 / float64(w.Size())
+	pos := 0
+	for _, p := range params {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = buf[pos] * inv
+			pos++
+		}
+	}
+}
+
+// sgdIteration is the first-order path: (optionally compressed) gradient
+// exchange, then a momentum step.
+func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
+	comp compress.Compressor, lr float64, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	if comp == nil {
+		allReduceGrads(w, task.Model, "grad-allreduce")
+	} else {
+		// Compressed exchange: each worker compresses its local gradient,
+		// all-gathers, and averages the decompressed replicas — the
+		// all-gather-based scheme that avoids ring error propagation.
+		params := task.Model.Params()
+		var flat []float32
+		for _, p := range params {
+			for _, v := range p.Grad.Data {
+				flat = append(flat, float32(v))
+			}
+		}
+		blob, err := comp.Compress(flat)
+		if err != nil {
+			return err
+		}
+		recordCR(len(flat), len(blob), crSum, crCount, mu)
+		parts := w.AllGather(blob, "grad-allgather")
+		sum := make([]float64, len(flat))
+		for _, part := range parts {
+			vals, err := comp.Decompress(part)
+			if err != nil {
+				return err
+			}
+			if len(vals) != len(sum) {
+				return fmt.Errorf("train: gathered gradient has %d values, want %d", len(vals), len(sum))
+			}
+			for i, v := range vals {
+				sum[i] += float64(v)
+			}
+		}
+		inv := 1.0 / float64(w.Size())
+		pos := 0
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = sum[pos] * inv
+				pos++
+			}
+		}
+	}
+	sgd.Step(task.Model.Params(), lr)
+	return nil
+}
+
+// kfacIteration is the distributed K-FAC path of Figure 2.
+func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
+	comp compress.Compressor, it int, lr float64, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	// Step 0: standard data-parallel gradient average.
+	allReduceGrads(w, task.Model, "grad-allreduce")
+
+	// Steps 1–2: covariance computation + factor all-reduce (amortized).
+	if it%cfg.StatFreq == 0 {
+		k.AccumulateStats(task.Batch)
+		cov := k.PendingCovariances()
+		if cfg.CompressFactors {
+			if err := compressedFactorExchange(w, cfg, cov); err != nil {
+				return err
+			}
+		} else {
+			w.AllReduce(cov, "kfac-allreduce")
+		}
+		if err := k.CommitCovariances(cov, w.Size()); err != nil {
+			return err
+		}
+	}
+
+	// Step 3: eigendecomposition of owned layers.
+	owned := ownedLayers(k.NumLayers(), w.Size(), w.Rank())
+	if k.NeedsEigen() {
+		for _, li := range owned {
+			if err := k.RefreshEigen(li); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Steps 4–5: precondition owned layers, compress per aggregation
+	// group, all-gather, decompress everything.
+	groups := compso.Groups(len(owned), cfg.AggregationM)
+	payload := make([]byte, 0, 1024)
+	for _, g := range groups {
+		grads := make([][]float32, 0, len(g))
+		for _, oi := range g {
+			vals, err := k.Precondition(owned[oi])
+			if err != nil {
+				return err
+			}
+			grads = append(grads, vals)
+		}
+		flat := compso.Concat(grads)
+		var blob []byte
+		if comp != nil {
+			var err error
+			blob, err = comp.Compress(flat)
+			if err != nil {
+				return err
+			}
+			recordCR(len(flat), len(blob), crSum, crCount, mu)
+		} else {
+			blob = f32ToBytes(flat)
+		}
+		payload = binary.AppendUvarint(payload, uint64(len(blob)))
+		payload = append(payload, blob...)
+	}
+	parts := w.AllGather(payload, "kfac-allgather")
+
+	// Install every worker's decompressed preconditioned gradients.
+	for rank, part := range parts {
+		rOwned := ownedLayers(k.NumLayers(), w.Size(), rank)
+		rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
+		pos := 0
+		for _, g := range rGroups {
+			blobLen, used := binary.Uvarint(part[pos:])
+			if used <= 0 || pos+used+int(blobLen) > len(part) {
+				return fmt.Errorf("train: corrupt all-gather payload from rank %d", rank)
+			}
+			pos += used
+			blob := part[pos : pos+int(blobLen)]
+			pos += int(blobLen)
+			var flat []float32
+			if comp != nil {
+				var err error
+				flat, err = comp.Decompress(blob)
+				if err != nil {
+					return err
+				}
+			} else {
+				flat = bytesToF32(blob)
+			}
+			lengths := make([]int, len(g))
+			for i, oi := range g {
+				lengths[i] = k.LayerGradSize(rOwned[oi])
+			}
+			split, err := compso.Split(flat, lengths)
+			if err != nil {
+				return err
+			}
+			for i, oi := range g {
+				if err := k.SetPreconditioned(rOwned[oi], split[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return k.ApplyUpdate(lr)
+}
+
+// compressedFactorExchange replaces the factor all-reduce with a
+// compressed all-gather + local sum: each worker error-bound-compresses its
+// float32 factor contribution, gathers everyone's buffers, and sums the
+// decompressed replicas back into cov. Every worker decodes identical
+// bytes, so the replicas stay consistent.
+func compressedFactorExchange(w *cluster.Worker, cfg Config, cov []float64) error {
+	comp := compress.NewCOMPSO(991 + int64(w.Rank()))
+	comp.FilterEnabled = true
+	comp.EBFilter = cfg.FactorEB
+	comp.EBQuant = cfg.FactorEB
+	local := make([]float32, len(cov))
+	for i, v := range cov {
+		local[i] = float32(v)
+	}
+	blob, err := comp.Compress(local)
+	if err != nil {
+		return fmt.Errorf("train: factor compression: %w", err)
+	}
+	parts := w.AllGather(blob, "kfac-allreduce")
+	for i := range cov {
+		cov[i] = 0
+	}
+	for rank, part := range parts {
+		vals, err := comp.Decompress(part)
+		if err != nil {
+			return fmt.Errorf("train: factor decompression from rank %d: %w", rank, err)
+		}
+		if len(vals) != len(cov) {
+			return fmt.Errorf("train: factor buffer from rank %d has %d values, want %d", rank, len(vals), len(cov))
+		}
+		for i, v := range vals {
+			cov[i] += float64(v)
+		}
+	}
+	return nil
+}
+
+// ownedLayers returns the layer indices assigned to rank under the
+// round-robin layer-wise work split.
+func ownedLayers(nLayers, worldSize, rank int) []int {
+	var out []int
+	for i := rank; i < nLayers; i += worldSize {
+		out = append(out, i)
+	}
+	return out
+}
+
+func recordCR(nFloats, nBytes int, crSum *float64, crCount *int, mu *sync.Mutex) {
+	if nFloats == 0 || nBytes == 0 {
+		return
+	}
+	mu.Lock()
+	*crSum += float64(4*nFloats) / float64(nBytes)
+	*crCount++
+	mu.Unlock()
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(f))
+	}
+	return out
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
