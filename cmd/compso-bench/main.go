@@ -9,10 +9,13 @@
 //	compso-bench -exp fig6 -iters 60 # convergence with a custom budget
 //	compso-bench -exp fig8 -measure  # include real Go throughput runs
 //
-// Experiments: fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2.
+// Experiments: fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2,
+// comm, ablation. With -json PATH the structured rows of every experiment
+// run are additionally written to PATH as a {experiment: rows} JSON object.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,27 +25,32 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, ablation")
+	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, comm, ablation")
 	iters := flag.Int("iters", 0, "training iteration budget for convergence experiments (0 = paper-scale default)")
 	measure := flag.Bool("measure", false, "fig8: also measure real Go implementation throughput")
+	jsonPath := flag.String("json", "", "write machine-readable results of the selected experiments to this file")
 	flag.Parse()
 
+	collected := map[string]any{}
 	runners := map[string]func() error{
 		"fig1": func() error {
-			_, tb := experiments.Figure1()
+			rows, tb := experiments.Figure1()
+			collected["fig1"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"fig3": func() error {
-			_, tb, err := experiments.Figure3(*iters)
+			rows, tb, err := experiments.Figure3(*iters)
 			if err != nil {
 				return err
 			}
+			collected["fig3"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"fig5": func() error {
 			results, tb := experiments.Figure5()
+			collected["fig5"] = results
 			fmt.Println(tb)
 			// Render the histograms as ASCII densities.
 			for _, r := range results {
@@ -60,6 +68,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			collected["fig6"] = runs
 			fmt.Println(tb)
 			for _, r := range runs {
 				fmt.Printf("%-13s %-17s losses:", r.Model, r.Method)
@@ -72,64 +81,80 @@ func main() {
 			return nil
 		},
 		"fig7": func() error {
-			_, tb, err := experiments.Figure7()
+			rows, tb, err := experiments.Figure7()
 			if err != nil {
 				return err
 			}
+			collected["fig7"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"fig8": func() error {
-			_, tb, err := experiments.Figure8(*measure)
+			rows, tb, err := experiments.Figure8(*measure)
 			if err != nil {
 				return err
 			}
+			collected["fig8"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"fig9": func() error {
-			_, tb, err := experiments.Figure9()
+			rows, tb, err := experiments.Figure9()
 			if err != nil {
 				return err
 			}
+			collected["fig9"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"table1": func() error {
-			_, tb, err := experiments.Table1(*iters)
+			rows, tb, err := experiments.Table1(*iters)
 			if err != nil {
 				return err
 			}
+			collected["table1"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"table2": func() error {
-			_, tb, err := experiments.Table2()
+			rows, tb, err := experiments.Table2()
 			if err != nil {
 				return err
 			}
+			collected["table2"] = rows
+			fmt.Println(tb)
+			return nil
+		},
+		"comm": func() error {
+			rows, tb, err := experiments.CommBreakdown()
+			if err != nil {
+				return err
+			}
+			collected["comm"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 		"headline": func() error {
-			_, tb, err := experiments.Headline()
+			res, tb, err := experiments.Headline()
 			if err != nil {
 				return err
 			}
+			collected["headline"] = res
 			fmt.Println(tb)
 			return nil
 		},
 		"ablation": func() error {
-			_, tb, err := experiments.Ablations()
+			rows, tb, err := experiments.Ablations()
 			if err != nil {
 				return err
 			}
+			collected["ablation"] = rows
 			fmt.Println(tb)
 			return nil
 		},
 	}
-	order := []string{"headline", "fig1", "fig3", "fig5", "fig6", "table1", "fig7", "table2", "fig8", "fig9", "ablation"}
-	quick := []string{"headline", "fig1", "fig5", "fig7", "table2", "fig8", "fig9", "ablation"}
+	order := []string{"headline", "fig1", "fig3", "fig5", "fig6", "table1", "fig7", "table2", "comm", "fig8", "fig9", "ablation"}
+	quick := []string{"headline", "fig1", "fig5", "fig7", "table2", "comm", "fig8", "fig9", "ablation"}
 
 	var selected []string
 	switch *exp {
@@ -149,6 +174,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(collected))
 	}
 }
 

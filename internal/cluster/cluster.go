@@ -4,17 +4,28 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"compso/internal/collective"
 )
 
 // Cluster executes an SPMD function on P simulated workers (goroutines).
 // Collectives exchange real data and advance every participant's simulated
-// clock by the cost model's estimate. Workers must issue collectives in
-// identical order (the SPMD contract).
+// clock through the step-level collective engine (internal/collective),
+// which schedules each exchange over simulated point-to-point links.
+// Workers must issue collectives in identical order (the SPMD contract).
 type Cluster struct {
-	cfg Config
-	p   int
-	rv  *rendezvous
+	cfg    Config
+	p      int
+	rv     *rendezvous
+	engine *collective.Engine
+
+	pairMu sync.Mutex
+	pairs  map[pairKey]*pairSlot
 }
+
+// traceCap bounds each worker's retained event trace (most recent events
+// win); the full per-collective trace still feeds per-algorithm stats.
+const traceCap = 4096
 
 // New creates a cluster of p workers on the given platform. It panics on an
 // invalid configuration, which is a programming error in experiment setup.
@@ -25,7 +36,11 @@ func New(cfg Config, p int) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("cluster: %d workers", p))
 	}
-	return &Cluster{cfg: cfg, p: p, rv: newRendezvous(p)}
+	return &Cluster{
+		cfg: cfg, p: p, rv: newRendezvous(p),
+		engine: EngineFor(cfg, p),
+		pairs:  make(map[pairKey]*pairSlot),
+	}
 }
 
 // Config returns the platform configuration.
@@ -34,14 +49,22 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Size returns the number of workers.
 func (c *Cluster) Size() int { return c.p }
 
+// Engine returns the collective engine dispatching this cluster's
+// collectives (for prediction queries and tuner inspection).
+func (c *Cluster) Engine() *collective.Engine { return c.engine }
+
 // Run executes fn on every worker concurrently and blocks until all
 // return. It returns the workers in rank order for post-run inspection
-// (simulated time, per-category stats).
+// (simulated time, per-category stats, per-algorithm stats, event traces).
 func (c *Cluster) Run(fn func(w *Worker)) []*Worker {
 	workers := make([]*Worker, c.p)
 	var wg sync.WaitGroup
 	for rank := 0; rank < c.p; rank++ {
-		workers[rank] = &Worker{cluster: c, rank: rank, stats: make(map[string]float64)}
+		workers[rank] = &Worker{
+			cluster: c, rank: rank,
+			stats:    make(map[string]float64),
+			algStats: make(map[string]float64),
+		}
 		wg.Add(1)
 		go func(w *Worker) {
 			defer wg.Done()
@@ -59,6 +82,14 @@ type Worker struct {
 	rank    int
 	simTime float64
 	stats   map[string]float64
+	// algStats accumulates simulated seconds per "op/algorithm" key.
+	algStats map[string]float64
+	// trace is a ring buffer of the most recent collective events this
+	// worker participated in.
+	trace      []collective.Event
+	traceHead  int
+	evTotal    int64
+	traceIsOff bool
 }
 
 // Rank returns the worker's 0-based rank.
@@ -73,6 +104,31 @@ func (w *Worker) Time() float64 { return w.simTime }
 // Stats returns the accumulated per-category simulated seconds. The map is
 // live; read it only after Run returns.
 func (w *Worker) Stats() map[string]float64 { return w.stats }
+
+// AlgSeconds returns the accumulated simulated seconds per collective
+// "op/algorithm" pair (e.g. "allgather/hierarchical"), the step-level
+// engine's time breakdown. Read only after Run returns.
+func (w *Worker) AlgSeconds() map[string]float64 { return w.algStats }
+
+// Events returns the worker's retained event trace in arrival order (the
+// most recent traceCap entries). Read only after Run returns.
+func (w *Worker) Events() []collective.Event {
+	if len(w.trace) < traceCap {
+		return w.trace
+	}
+	out := make([]collective.Event, 0, len(w.trace))
+	out = append(out, w.trace[w.traceHead:]...)
+	out = append(out, w.trace[:w.traceHead]...)
+	return out
+}
+
+// TotalEvents returns how many trace events the worker has seen (including
+// ones evicted from the ring buffer).
+func (w *Worker) TotalEvents() int64 { return w.evTotal }
+
+// DisableTrace stops event retention for this worker (per-algorithm stats
+// are still kept). Useful for very long training runs.
+func (w *Worker) DisableTrace() { w.traceIsOff = true }
 
 // Compute advances the simulated clock by the given seconds under the
 // category label (e.g. "forward-backward", "kfac-compute", "compress").
@@ -93,101 +149,218 @@ func (w *Worker) account(tEnd float64, category string) {
 	}
 }
 
+// note records a collective outcome into the worker's per-algorithm stats
+// and event trace. Must be called before account advances the clock.
+func (w *Worker) note(out *collective.Outcome, tEnd float64) {
+	if out == nil {
+		return
+	}
+	if tEnd > w.simTime {
+		w.algStats[out.Op+"/"+out.Algorithm] += tEnd - w.simTime
+	}
+	if w.traceIsOff {
+		return
+	}
+	for _, ev := range out.EventsFor(w.rank) {
+		w.addEvent(ev)
+	}
+}
+
+func (w *Worker) addEvent(ev collective.Event) {
+	w.evTotal++
+	if len(w.trace) < traceCap {
+		w.trace = append(w.trace, ev)
+		return
+	}
+	w.trace[w.traceHead] = ev
+	w.traceHead = (w.traceHead + 1) % traceCap
+}
+
+// collResult carries a collective's data plus its shared outcome through
+// the rendezvous to each rank.
+type collResult struct {
+	data any
+	out  *collective.Outcome
+}
+
+// sameForAll builds per-rank results all sharing one value.
+func sameForAll(p int, v any) []any {
+	res := make([]any, p)
+	for i := range res {
+		res[i] = v
+	}
+	return res
+}
+
 // AllReduce sums data element-wise across all workers in place (averaging
-// is the caller's choice) and charges a ring all-reduce of 4·len bytes
-// (FP32 on the wire) to the category.
+// is the caller's choice). The wire charge is 4·len bytes (FP32 on the
+// wire), scheduled by the engine's chosen all-reduce algorithm.
 func (w *Worker) AllReduce(data []float64, category string) {
 	c := w.cluster
-	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) (any, float64) {
-		first := slots[0].([]float64)
-		sum := make([]float64, len(first))
-		for _, s := range slots {
-			vec := s.([]float64)
-			if len(vec) != len(sum) {
-				panic(fmt.Sprintf("cluster: AllReduce length mismatch %d vs %d", len(vec), len(sum)))
-			}
-			for i, v := range vec {
-				sum[i] += v
-			}
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) ([]any, []float64) {
+		vecs := make([][]float64, len(slots))
+		for i, s := range slots {
+			vecs[i] = s.([]float64)
 		}
-		start := maxOf(times)
-		return sum, start + c.cfg.AllReduceTime(4*len(sum), c.p)
+		sum, out := c.engine.AllReduce(vecs, times)
+		return sameForAll(c.p, collResult{data: sum, out: out}), out.Ends
 	})
-	copy(data, res.([]float64))
+	cr := res.(collResult)
+	copy(data, cr.data.([]float64))
+	w.note(cr.out, tEnd)
 	w.account(tEnd, category)
 }
 
 // AllGather exchanges each worker's byte payload (which may be empty) and
-// returns all payloads in rank order. The time charge models a ring
-// all-gather with the actual per-worker sizes — this is the collective
-// COMPSO compresses.
+// returns all payloads in rank order — the collective COMPSO compresses.
+// The schedule uses the actual per-worker sizes.
 func (w *Worker) AllGather(payload []byte, category string) [][]byte {
 	c := w.cluster
-	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) (any, float64) {
-		out := make([][]byte, len(slots))
-		sizes := make([]int, len(slots))
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
+		payloads := make([][]byte, len(slots))
 		for i, s := range slots {
-			out[i] = s.([]byte)
-			sizes[i] = len(out[i])
+			payloads[i], _ = s.([]byte)
 		}
-		start := maxOf(times)
-		return out, start + c.cfg.AllGatherVarTime(sizes, c.p)
+		data, out := c.engine.AllGather(payloads, times)
+		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
+	cr := res.(collResult)
+	w.note(cr.out, tEnd)
 	w.account(tEnd, category)
-	return res.([][]byte)
+	return cr.data.([][]byte)
 }
 
-// Broadcast sends root's payload to every worker, charging a binomial-tree
-// broadcast.
+// Broadcast sends root's payload to every worker.
 func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
 	c := w.cluster
-	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) (any, float64) {
-		data := slots[root].([]byte)
-		start := maxOf(times)
-		return data, start + c.cfg.BroadcastTime(len(data), c.p)
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
+		bufs := make([][]byte, len(slots))
+		for i, s := range slots {
+			bufs[i], _ = s.([]byte)
+		}
+		data, out := c.engine.Broadcast(bufs, root, times)
+		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
+	cr := res.(collResult)
+	w.note(cr.out, tEnd)
 	w.account(tEnd, category)
-	return res.([]byte)
+	return cr.data.([]byte)
 }
 
 // ReduceScatter sums data element-wise across workers and returns this
 // worker's 1/P shard of the result (rank r receives elements
 // [r·n/P, (r+1)·n/P) of the sum, with the last rank absorbing the
-// remainder). The time charge models a ring reduce-scatter.
+// remainder).
 func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
 	c := w.cluster
-	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) (any, float64) {
-		first := slots[0].([]float64)
-		sum := make([]float64, len(first))
-		for _, s := range slots {
-			vec := s.([]float64)
-			if len(vec) != len(sum) {
-				panic(fmt.Sprintf("cluster: ReduceScatter length mismatch %d vs %d", len(vec), len(sum)))
-			}
-			for i, v := range vec {
-				sum[i] += v
-			}
+	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) ([]any, []float64) {
+		vecs := make([][]float64, len(slots))
+		for i, s := range slots {
+			vecs[i] = s.([]float64)
 		}
-		start := maxOf(times)
-		return sum, start + c.cfg.ReduceScatterTime(4*len(sum), c.p)
+		shards, out := c.engine.ReduceScatter(vecs, times)
+		res := make([]any, c.p)
+		for r := range res {
+			res[r] = collResult{data: shards[r], out: out}
+		}
+		return res, out.Ends
 	})
+	cr := res.(collResult)
+	w.note(cr.out, tEnd)
 	w.account(tEnd, category)
-	sum := res.([]float64)
-	shard := len(sum) / c.p
-	lo := w.rank * shard
-	hi := lo + shard
-	if w.rank == c.p-1 {
-		hi = len(sum)
-	}
-	return sum[lo:hi]
+	return cr.data.([]float64)
 }
 
 // Barrier synchronizes all workers' clocks to the maximum.
 func (w *Worker) Barrier() {
-	_, tEnd := w.cluster.rv.exchange(w.rank, w.simTime, nil, func(_ []any, times []float64) (any, float64) {
-		return nil, maxOf(times)
+	_, tEnd := w.cluster.rv.exchange(w.rank, w.simTime, nil, func(_ []any, times []float64) ([]any, []float64) {
+		m := maxOf(times)
+		ends := make([]float64, len(times))
+		for i := range ends {
+			ends[i] = m
+		}
+		return make([]any, len(times)), ends
 	})
 	w.account(tEnd, "barrier")
+}
+
+// pairKey identifies a SendRecv meeting point (unordered rank pair).
+type pairKey struct{ lo, hi int }
+
+type pairSlot struct {
+	payload []byte
+	t       float64
+	reply   chan pairReply
+}
+
+type pairReply struct {
+	payload []byte
+	tEnd    float64
+}
+
+// SendRecv exchanges payloads with peer over the direct link between the
+// two ranks (NVLink when co-located, the NICs otherwise), advancing both
+// clocks to the transfer's completion. Both sides must call SendRecv with
+// each other's rank (the SPMD contract — mismatched pairings deadlock, as
+// they would on a real cluster). It is the transport primitive the
+// step-level collective algorithms are built from, exposed for custom
+// exchange patterns.
+func (w *Worker) SendRecv(peer int, payload []byte, category string) []byte {
+	c := w.cluster
+	if peer == w.rank {
+		return payload
+	}
+	if peer < 0 || peer >= c.p {
+		panic(fmt.Sprintf("cluster: SendRecv peer %d, world %d", peer, c.p))
+	}
+	k := pairKey{lo: w.rank, hi: peer}
+	if k.lo > k.hi {
+		k.lo, k.hi = k.hi, k.lo
+	}
+	c.pairMu.Lock()
+	if st, ok := c.pairs[k]; ok {
+		// Second arriver: compute the transfer and release the partner.
+		delete(c.pairs, k)
+		c.pairMu.Unlock()
+		bytes := len(payload)
+		if len(st.payload) > bytes {
+			bytes = len(st.payload)
+		}
+		start := w.simTime
+		if st.t > start {
+			start = st.t
+		}
+		tEnd := start + c.engine.Topology().P2PTime(w.rank, peer, bytes)
+		st.reply <- pairReply{payload: payload, tEnd: tEnd}
+		w.noteP2P(peer, bytes, start, tEnd)
+		w.account(tEnd, category)
+		return st.payload
+	}
+	st := &pairSlot{payload: payload, t: w.simTime, reply: make(chan pairReply, 1)}
+	c.pairs[k] = st
+	c.pairMu.Unlock()
+	rep := <-st.reply
+	w.noteP2P(peer, max(len(payload), len(rep.payload)), w.simTime, rep.tEnd)
+	w.account(rep.tEnd, category)
+	return rep.payload
+}
+
+func (w *Worker) noteP2P(peer, bytes int, start, tEnd float64) {
+	if tEnd > w.simTime {
+		w.algStats[collective.OpSendRecv+"/p2p"] += tEnd - w.simTime
+	}
+	if w.traceIsOff {
+		return
+	}
+	link := collective.LinkInter
+	if w.cluster.engine.Topology().SameNode(w.rank, peer) {
+		link = collective.LinkIntra
+	}
+	w.addEvent(collective.Event{
+		Op: collective.OpSendRecv, Algorithm: "p2p",
+		Src: w.rank, Dst: peer, Link: link, Bytes: bytes,
+		Start: start, End: tEnd,
+	})
 }
 
 func maxOf(xs []float64) float64 {
@@ -217,10 +390,23 @@ func MergeStats(workers []*Worker) (map[string]float64, []string) {
 	return merged, keys
 }
 
+// MergeAlgStats sums per-"op/algorithm" simulated seconds across workers —
+// the per-algorithm communication breakdown the experiments report.
+func MergeAlgStats(workers []*Worker) map[string]float64 {
+	merged := make(map[string]float64)
+	for _, w := range workers {
+		for k, v := range w.algStats {
+			merged[k] += v
+		}
+	}
+	return merged
+}
+
 // rendezvous is a reusable payload-carrying barrier: all P workers arrive
-// with a payload, the last arriver runs the combine function, everyone
-// leaves with the result. A round cannot begin until the previous round has
-// fully drained, which is what makes back-to-back collectives safe.
+// with a payload, the last arriver runs the combine function (producing a
+// per-rank result and per-rank completion time), everyone leaves with its
+// own. A round cannot begin until the previous round has fully drained,
+// which is what makes back-to-back collectives safe.
 type rendezvous struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -230,8 +416,8 @@ type rendezvous struct {
 	gen     uint64
 	slots   []any
 	times   []float64
-	result  any
-	tEnd    float64
+	results []any
+	tEnds   []float64
 }
 
 func newRendezvous(n int) *rendezvous {
@@ -241,7 +427,7 @@ func newRendezvous(n int) *rendezvous {
 }
 
 func (r *rendezvous) exchange(rank int, t float64, payload any,
-	combine func(slots []any, times []float64) (any, float64)) (any, float64) {
+	combine func(slots []any, times []float64) ([]any, []float64)) (any, float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for r.leaving > 0 {
@@ -252,7 +438,11 @@ func (r *rendezvous) exchange(rank int, t float64, payload any,
 	r.arrived++
 	gen := r.gen
 	if r.arrived == r.n {
-		r.result, r.tEnd = combine(r.slots, r.times)
+		r.results, r.tEnds = combine(r.slots, r.times)
+		if len(r.results) != r.n || len(r.tEnds) != r.n {
+			panic(fmt.Sprintf("cluster: combine returned %d results, %d times for %d ranks",
+				len(r.results), len(r.tEnds), r.n))
+		}
 		r.arrived = 0
 		r.leaving = r.n
 		r.gen++
@@ -262,7 +452,7 @@ func (r *rendezvous) exchange(rank int, t float64, payload any,
 			r.cond.Wait()
 		}
 	}
-	res, tEnd := r.result, r.tEnd
+	res, tEnd := r.results[rank], r.tEnds[rank]
 	r.leaving--
 	if r.leaving == 0 {
 		r.cond.Broadcast()

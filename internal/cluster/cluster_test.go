@@ -238,6 +238,237 @@ func TestReduceScatterShards(t *testing.T) {
 	})
 }
 
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := tinyConfig()
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{"valid", func(c *Config) {}, true},
+		{"valid analytic policy", func(c *Config) { c.Collective = "analytic" }, true},
+		{"valid forced hierarchical", func(c *Config) { c.Collective = "hierarchical" }, true},
+		{"valid auto policy", func(c *Config) { c.Collective = "auto" }, true},
+		{"zero GPUs per node", func(c *Config) { c.GPUsPerNode = 0 }, false},
+		{"zero intra BW", func(c *Config) { c.IntraBW = 0 }, false},
+		{"zero inter BW", func(c *Config) { c.InterBW = 0 }, false},
+		{"negative intra latency", func(c *Config) { c.IntraLatency = -1e-6 }, false},
+		{"negative inter latency", func(c *Config) { c.InterLatency = -1e-6 }, false},
+		{"negative collective launch", func(c *Config) { c.CollectiveLaunch = -1e-5 }, false},
+		{"negative congestion log", func(c *Config) { c.CongestionLog = -0.25 }, false},
+		{"unknown collective policy", func(c *Config) { c.Collective = "warp-speed" }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("config accepted: %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestRendezvousStressMixedCollectives(t *testing.T) {
+	// P workers issue many back-to-back mixed collectives; clocks must be
+	// monotone and every rank must decode bit-identical data. Run under
+	// -race in CI.
+	const p = 8
+	const rounds = 60
+	c := New(tinyConfig(), p)
+	type roundData struct {
+		sum     float64
+		gather  string
+		bcast   string
+		shardOK bool
+	}
+	perRank := make([][]roundData, p)
+	workers := c.Run(func(w *Worker) {
+		log := make([]roundData, 0, rounds)
+		last := w.Time()
+		check := func() {
+			if w.Time() < last {
+				panic(fmt.Sprintf("rank %d clock went backwards: %g -> %g", w.Rank(), last, w.Time()))
+			}
+			last = w.Time()
+		}
+		for i := 0; i < rounds; i++ {
+			var rd roundData
+
+			vec := []float64{float64(w.Rank()*i) + 0.25, 1}
+			w.AllReduce(vec, "ar")
+			rd.sum = vec[0] + vec[1]
+			check()
+
+			payload := make([]byte, (w.Rank()*13+i)%29)
+			for j := range payload {
+				payload[j] = byte(w.Rank() + i + j)
+			}
+			parts := w.AllGather(payload, "ag")
+			var cat []byte
+			for _, part := range parts {
+				cat = append(cat, part...)
+			}
+			rd.gather = string(cat)
+			check()
+
+			root := i % p
+			var b []byte
+			if w.Rank() == root {
+				b = []byte(fmt.Sprintf("round-%d", i))
+			}
+			rd.bcast = string(w.Broadcast(b, root, "bc"))
+			check()
+
+			data := make([]float64, 4*p+3)
+			for j := range data {
+				data[j] = float64(j + w.Rank())
+			}
+			// Each rank owns a different contiguous shard; verify it
+			// against the closed-form reduction sum_r (j+r) = p*j + p(p-1)/2
+			// rather than comparing shards across ranks.
+			shard := w.ReduceScatter(data, "rs")
+			off := w.Rank() * (len(data) / p)
+			rd.shardOK = true
+			for k, v := range shard {
+				want := float64(p*(off+k)) + float64(p*(p-1))/2
+				if v != want {
+					rd.shardOK = false
+				}
+			}
+			if !rd.shardOK {
+				panic(fmt.Sprintf("rank %d round %d: bad reduce-scatter shard", w.Rank(), i))
+			}
+			check()
+
+			if i%7 == 0 {
+				w.Barrier()
+				check()
+			}
+			if i%5 == 0 {
+				peer := w.Rank() ^ 1
+				got := w.SendRecv(peer, []byte{byte(w.Rank())}, "p2p")
+				if len(got) != 1 || got[0] != byte(peer) {
+					panic(fmt.Sprintf("rank %d SendRecv got %v", w.Rank(), got))
+				}
+				check()
+			}
+			log = append(log, rd)
+		}
+		perRank[w.Rank()] = log
+	})
+	for r := 1; r < p; r++ {
+		if len(perRank[r]) != rounds {
+			t.Fatalf("rank %d logged %d rounds", r, len(perRank[r]))
+		}
+		for i := range perRank[r] {
+			if perRank[r][i] != perRank[0][i] {
+				t.Fatalf("rank %d round %d diverged: %+v vs %+v", r, i, perRank[r][i], perRank[0][i])
+			}
+		}
+	}
+	for _, w := range workers {
+		if w.Time() <= 0 {
+			t.Fatalf("rank %d: no simulated time", w.Rank())
+		}
+	}
+}
+
+func TestSendRecvExchangesAndCharges(t *testing.T) {
+	cfg := tinyConfig() // 2 GPUs/node: ranks 0,1 co-located; 2 is remote
+	c := New(cfg, 3)
+	workers := c.Run(func(w *Worker) {
+		switch w.Rank() {
+		case 0:
+			got := w.SendRecv(1, []byte("from-0"), "intra")
+			if string(got) != "from-1" {
+				panic(fmt.Sprintf("rank 0 got %q", got))
+			}
+			got = w.SendRecv(2, []byte("cross"), "inter")
+			if string(got) != "cross-back" {
+				panic(fmt.Sprintf("rank 0 got %q", got))
+			}
+		case 1:
+			if got := w.SendRecv(0, []byte("from-1"), "intra"); string(got) != "from-0" {
+				panic(fmt.Sprintf("rank 1 got %q", got))
+			}
+		case 2:
+			if got := w.SendRecv(0, []byte("cross-back"), "inter"); string(got) != "cross" {
+				panic(fmt.Sprintf("rank 2 got %q", got))
+			}
+		}
+	})
+	w0 := workers[0]
+	if w0.Stats()["intra"] <= 0 || w0.Stats()["inter"] <= 0 {
+		t.Fatalf("stats not charged: %v", w0.Stats())
+	}
+	// The inter-node hop is slower than the intra-node one for equal-ish
+	// bytes on this config.
+	if w0.Stats()["inter"] <= w0.Stats()["intra"] {
+		t.Fatalf("inter %g not above intra %g", w0.Stats()["inter"], w0.Stats()["intra"])
+	}
+	if w0.SendRecv(0, []byte("self"), "self") == nil {
+		t.Fatal("self SendRecv dropped payload")
+	}
+}
+
+func TestAlgStatsAndEventTrace(t *testing.T) {
+	c := New(tinyConfig(), 4)
+	workers := c.Run(func(w *Worker) {
+		w.AllReduce(make([]float64, 256), "ar")
+		w.AllGather(make([]byte, 128), "ag")
+	})
+	for _, w := range workers {
+		if len(w.AlgSeconds()) == 0 {
+			t.Fatalf("rank %d: no per-algorithm stats", w.Rank())
+		}
+		for k, v := range w.AlgSeconds() {
+			if v < 0 {
+				t.Fatalf("rank %d: negative alg time %s=%g", w.Rank(), k, v)
+			}
+		}
+		if len(w.Events()) == 0 || w.TotalEvents() == 0 {
+			t.Fatalf("rank %d: no event trace", w.Rank())
+		}
+		for _, ev := range w.Events() {
+			if ev.Src != w.Rank() && ev.Dst != w.Rank() && ev.Src >= 0 {
+				t.Fatalf("rank %d trace holds foreign event %+v", w.Rank(), ev)
+			}
+		}
+	}
+	merged := MergeAlgStats(workers)
+	if len(merged) == 0 {
+		t.Fatal("MergeAlgStats empty")
+	}
+}
+
+func TestAnalyticPolicyKeepsClosedFormCharges(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Collective = "analytic"
+	c := New(cfg, 4)
+	workers := c.Run(func(w *Worker) {
+		w.AllReduce(make([]float64, 1024), "ar")
+	})
+	want := cfg.AllReduceTime(4*1024, 4)
+	for _, w := range workers {
+		if math.Abs(w.Time()-want) > 1e-15 {
+			t.Fatalf("rank %d analytic time %g, want %g", w.Rank(), w.Time(), want)
+		}
+	}
+}
+
+func TestEngineAccessor(t *testing.T) {
+	c := New(Platform1(), 16)
+	alg, sec := c.Engine().PredictAllReduce(1 << 20)
+	if alg == "" || sec <= 0 {
+		t.Fatalf("predict = %q, %g", alg, sec)
+	}
+}
+
 func TestReduceScatterTimeModel(t *testing.T) {
 	cfg := Platform1()
 	if cfg.ReduceScatterTime(1<<20, 1) != 0 {

@@ -6,7 +6,11 @@
 // bytes would cost on the modeled interconnect.
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"compso/internal/collective"
+)
 
 // Config describes a platform: topology and link parameters.
 type Config struct {
@@ -33,6 +37,13 @@ type Config struct {
 	// collective regardless of size. It is what makes per-layer exchanges
 	// of small layers expensive and layer aggregation worthwhile (§4.4).
 	CollectiveLaunch float64
+	// Collective selects the collective engine policy: "" or "auto"
+	// autotunes the step-level algorithm per (collective, message size);
+	// "analytic" keeps the legacy closed-form α–β charges; a specific
+	// algorithm name ("ring", "recursive-doubling", "binomial",
+	// "hierarchical") forces it for the ops that implement it (other ops
+	// fall back to autotuning).
+	Collective string
 }
 
 const gbit = 1e9 / 8 // bytes/second per Gbit/s
@@ -75,7 +86,44 @@ func (c Config) Validate() error {
 	if c.IntraLatency < 0 || c.InterLatency < 0 {
 		return fmt.Errorf("cluster: negative latency in %+v", c)
 	}
+	if c.CollectiveLaunch < 0 {
+		return fmt.Errorf("cluster: negative CollectiveLaunch %g", c.CollectiveLaunch)
+	}
+	if c.CongestionLog < 0 {
+		return fmt.Errorf("cluster: negative CongestionLog %g", c.CongestionLog)
+	}
+	if !collective.ValidPolicy(c.Collective) {
+		return fmt.Errorf("cluster: unknown Collective policy %q", c.Collective)
+	}
 	return nil
+}
+
+// EngineFor builds the step-level collective engine for a platform at
+// world size p: the two-tier topology (per-GPU NVLink ports at IntraBW,
+// per-node NICs at the full InterBW — contention between a node's GPUs
+// emerges from NIC occupancy instead of a pre-divided rate) plus the
+// closed-form cost model backing the "analytic" fallback algorithm.
+func EngineFor(cfg Config, p int) *collective.Engine {
+	topo := &collective.Topology{
+		P:           p,
+		GPUsPerNode: cfg.GPUsPerNode,
+		IntraAlpha:  cfg.IntraLatency,
+		IntraBeta:   1 / cfg.IntraBW,
+		InterAlpha:  cfg.InterLatency,
+		InterBeta:   1 / cfg.InterBW,
+		Launch:      cfg.CollectiveLaunch,
+	}
+	cost := collective.CostModel{
+		AllReduce:     func(n int) float64 { return cfg.AllReduceTime(n, p) },
+		AllGather:     func(sizes []int) float64 { return cfg.AllGatherVarTime(sizes, p) },
+		ReduceScatter: func(n int) float64 { return cfg.ReduceScatterTime(n, p) },
+		Broadcast:     func(n int) float64 { return cfg.BroadcastTime(n, p) },
+	}
+	eng, err := collective.NewEngine(topo, cost, cfg.Collective)
+	if err != nil {
+		panic(err) // unreachable after Validate
+	}
+	return eng
 }
 
 // EffectiveBandwidth returns the per-GPU bottleneck bandwidth for a

@@ -1,0 +1,352 @@
+package collective
+
+// Algorithm names. "analytic" reproduces the legacy closed-form α–β charge
+// and is only used when forced by policy (it is not an autotuner
+// candidate).
+const (
+	AlgRing              = "ring"
+	AlgRecursiveDoubling = "recursive-doubling"
+	AlgBinomial          = "binomial"
+	AlgHierarchical      = "hierarchical"
+	AlgAnalytic          = "analytic"
+)
+
+// Collective op names used in traces, stats keys and the autotuner.
+const (
+	OpAllGather     = "allgather"
+	OpAllReduce     = "allreduce"
+	OpReduceScatter = "reducescatter"
+	OpBroadcast     = "broadcast"
+	OpSendRecv      = "sendrecv"
+)
+
+func mod(a, p int) int { return ((a % p) + p) % p }
+
+// splitBytes splits n bytes into p near-even chunks (first n%p chunks get
+// the extra byte) — the wire chunking of ring reduce collectives.
+func splitBytes(n, p int) []int {
+	base, rem := n/p, n%p
+	out := make([]int, p)
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// ringAllGather schedules the classic P−1 step ring: at step s, rank r
+// forwards chunk (r−s) mod P to rank r+1. Handles variable per-rank sizes.
+func ringAllGather(s *sim, sizes []int) {
+	p := s.topo.P
+	for step := 0; step < p-1; step++ {
+		ts := make([]Transfer, 0, p)
+		for r := 0; r < p; r++ {
+			ts = append(ts, Transfer{Src: r, Dst: (r + 1) % p, Bytes: sizes[mod(r-step, p)]})
+		}
+		s.runStep(ts)
+	}
+}
+
+// ringReduceScatter schedules the P−1 step reduce-scatter ring over the
+// given per-chunk wire sizes: at step s, rank r forwards the partial sum of
+// chunk (r−s) mod P to rank r+1; after P−1 steps rank r owns completed
+// chunk (r+1) mod P.
+func ringReduceScatter(s *sim, chunkBytes []int) {
+	p := s.topo.P
+	for step := 0; step < p-1; step++ {
+		ts := make([]Transfer, 0, p)
+		for r := 0; r < p; r++ {
+			ts = append(ts, Transfer{Src: r, Dst: (r + 1) % p, Bytes: chunkBytes[mod(r-step, p)]})
+		}
+		s.runStep(ts)
+	}
+}
+
+// ringAllReduce schedules reduce-scatter followed by all-gather of the
+// reduced chunks: 2(P−1) steps moving 2(P−1)/P · n bytes per rank.
+func ringAllReduce(s *sim, nBytes int) {
+	p := s.topo.P
+	chunks := splitBytes(nBytes, p)
+	ringReduceScatter(s, chunks)
+	// All-gather phase: rank r starts owning chunk (r+1) mod P and forwards
+	// chunk (r+1−s) mod P at step s.
+	for step := 0; step < p-1; step++ {
+		ts := make([]Transfer, 0, p)
+		for r := 0; r < p; r++ {
+			ts = append(ts, Transfer{Src: r, Dst: (r + 1) % p, Bytes: chunks[mod(r+1-step, p)]})
+		}
+		s.runStep(ts)
+	}
+}
+
+// recursiveDoublingAllGather schedules the log-step exchange. Non-power-of-
+// two world sizes use the standard pre/post fixup: the p−q highest ranks
+// fold their block into a partner below the largest power of two q, the q
+// ranks double, and the partners send the full result back.
+func recursiveDoublingAllGather(s *sim, sizes []int) {
+	p := s.topo.P
+	q := 1
+	for q*2 <= p {
+		q *= 2
+	}
+	extras := p - q
+	held := append([]int(nil), sizes...)
+	total := 0
+	for _, sz := range sizes {
+		total += sz
+	}
+	if extras > 0 {
+		ts := make([]Transfer, 0, extras)
+		for e := q; e < p; e++ {
+			ts = append(ts, Transfer{Src: e, Dst: e - q, Bytes: sizes[e]})
+		}
+		s.runStep(ts)
+		for e := q; e < p; e++ {
+			held[e-q] += sizes[e]
+		}
+	}
+	for d := 1; d < q; d <<= 1 {
+		ts := make([]Transfer, 0, q)
+		for r := 0; r < q; r++ {
+			ts = append(ts, Transfer{Src: r, Dst: r ^ d, Bytes: held[r]})
+		}
+		s.runStep(ts)
+		next := append([]int(nil), held[:q]...)
+		for r := 0; r < q; r++ {
+			next[r] = held[r] + held[r^d]
+		}
+		copy(held, next)
+	}
+	if extras > 0 {
+		ts := make([]Transfer, 0, extras)
+		for e := q; e < p; e++ {
+			ts = append(ts, Transfer{Src: e - q, Dst: e, Bytes: total - sizes[e]})
+		}
+		s.runStep(ts)
+	}
+}
+
+// binomialBcastRounds returns the round-by-round transfers of a binomial
+// tree broadcast of bytes within group, rooted at group[rootIdx]. Rounds
+// from different groups can be merged step-wise to run trees concurrently.
+func binomialBcastRounds(group []int, rootIdx, bytes int) [][]Transfer {
+	n := len(group)
+	vr := func(j int) int { return group[(rootIdx+j)%n] }
+	var rounds [][]Transfer
+	for d := 1; d < n; d <<= 1 {
+		var ts []Transfer
+		for j := 0; j < d && j+d < n; j++ {
+			ts = append(ts, Transfer{Src: vr(j), Dst: vr(j + d), Bytes: bytes})
+		}
+		rounds = append(rounds, ts)
+	}
+	return rounds
+}
+
+// binomialReduceRounds returns the rounds of a binomial-tree reduction of
+// bytes within group toward group[0].
+func binomialReduceRounds(group []int, bytes int) [][]Transfer {
+	n := len(group)
+	var rounds [][]Transfer
+	for d := 1; d < n; d <<= 1 {
+		var ts []Transfer
+		for j := d; j < n; j += 2 * d {
+			ts = append(ts, Transfer{Src: group[j], Dst: group[j-d], Bytes: bytes})
+		}
+		rounds = append(rounds, ts)
+	}
+	return rounds
+}
+
+// mergeRounds interleaves several groups' round sequences step-wise so the
+// groups progress concurrently (e.g. every node's intra-node tree runs in
+// parallel).
+func mergeRounds(groups [][][]Transfer) [][]Transfer {
+	maxLen := 0
+	for _, g := range groups {
+		if len(g) > maxLen {
+			maxLen = len(g)
+		}
+	}
+	out := make([][]Transfer, maxLen)
+	for k := 0; k < maxLen; k++ {
+		for _, g := range groups {
+			if k < len(g) {
+				out[k] = append(out[k], g[k]...)
+			}
+		}
+	}
+	return out
+}
+
+// binomialBroadcast schedules a flat binomial tree over all ranks.
+func binomialBroadcast(s *sim, bytes, root int) {
+	group := make([]int, s.topo.P)
+	for i := range group {
+		group[i] = i
+	}
+	s.runRounds(binomialBcastRounds(group, root, bytes))
+}
+
+// hierarchicalAllGather schedules the paper's §4 two-level exchange:
+//  1. intra-node gather — every member sends its payload to the node
+//     leader over NVLink (one step; each leader's ingress port serializes
+//     its members, so the stage costs the true gather lower bound);
+//  2. inter-node ring all-gather among node leaders over the NICs, with
+//     per-node aggregated sizes;
+//  3. intra-node binomial broadcast of the full result from each leader.
+func hierarchicalAllGather(s *sim, sizes []int) {
+	t := s.topo
+	n := t.Nodes()
+	nodeBytes := make([]int, n)
+	total := 0
+	var gather []Transfer
+	for node := 0; node < n; node++ {
+		lead := t.Leader(node)
+		for _, r := range t.NodeRanks(node) {
+			nodeBytes[node] += sizes[r]
+			total += sizes[r]
+			if r != lead {
+				gather = append(gather, Transfer{Src: r, Dst: lead, Bytes: sizes[r]})
+			}
+		}
+	}
+	s.runStep(gather)
+	// Ring all-gather among leaders: leader i forwards node chunk
+	// (i−step) mod n to leader i+1.
+	for step := 0; step < n-1; step++ {
+		ts := make([]Transfer, 0, n)
+		for i := 0; i < n; i++ {
+			ts = append(ts, Transfer{Src: t.Leader(i), Dst: t.Leader((i + 1) % n), Bytes: nodeBytes[mod(i-step, n)]})
+		}
+		s.runStep(ts)
+	}
+	// Intra-node broadcast of the complete buffer, all nodes concurrently.
+	var groups [][][]Transfer
+	for node := 0; node < n; node++ {
+		ranks := t.NodeRanks(node)
+		if len(ranks) > 1 {
+			groups = append(groups, binomialBcastRounds(ranks, 0, total))
+		}
+	}
+	s.runRounds(mergeRounds(groups))
+}
+
+// hierarchicalAllReduce schedules the two-level reduction:
+//  1. intra-node binomial-tree reduce of the full vector to each leader;
+//  2. inter-node ring all-reduce among leaders;
+//  3. intra-node binomial broadcast of the reduced vector.
+func hierarchicalAllReduce(s *sim, nBytes int) {
+	t := s.topo
+	n := t.Nodes()
+	var reduce, bcast [][][]Transfer
+	for node := 0; node < n; node++ {
+		ranks := t.NodeRanks(node)
+		if len(ranks) > 1 {
+			reduce = append(reduce, binomialReduceRounds(ranks, nBytes))
+			bcast = append(bcast, binomialBcastRounds(ranks, 0, nBytes))
+		}
+	}
+	s.runRounds(mergeRounds(reduce))
+	if n > 1 {
+		// Ring all-reduce among the node leaders (chunked by node count).
+		chunks := splitBytes(nBytes, n)
+		for step := 0; step < n-1; step++ {
+			ts := make([]Transfer, 0, n)
+			for i := 0; i < n; i++ {
+				ts = append(ts, Transfer{Src: t.Leader(i), Dst: t.Leader((i + 1) % n), Bytes: chunks[mod(i-step, n)]})
+			}
+			s.runStep(ts)
+		}
+		for step := 0; step < n-1; step++ {
+			ts := make([]Transfer, 0, n)
+			for i := 0; i < n; i++ {
+				ts = append(ts, Transfer{Src: t.Leader(i), Dst: t.Leader((i + 1) % n), Bytes: chunks[mod(i+1-step, n)]})
+			}
+			s.runStep(ts)
+		}
+	}
+	s.runRounds(mergeRounds(bcast))
+}
+
+// hierarchicalReduceScatter schedules the two-level variant: intra-node
+// tree reduce to leaders, ring reduce-scatter among leaders, then leaders
+// return each member's shard directly.
+func hierarchicalReduceScatter(s *sim, chunkBytes []int) {
+	t := s.topo
+	n := t.Nodes()
+	total := 0
+	for _, c := range chunkBytes {
+		total += c
+	}
+	var reduce [][][]Transfer
+	for node := 0; node < n; node++ {
+		ranks := t.NodeRanks(node)
+		if len(ranks) > 1 {
+			reduce = append(reduce, binomialReduceRounds(ranks, total))
+		}
+	}
+	s.runRounds(mergeRounds(reduce))
+	if n > 1 {
+		// Ring reduce-scatter among leaders over per-node byte groups.
+		nodeBytes := make([]int, n)
+		for r, c := range chunkBytes {
+			nodeBytes[t.Node(r)] += c
+		}
+		for step := 0; step < n-1; step++ {
+			ts := make([]Transfer, 0, n)
+			for i := 0; i < n; i++ {
+				ts = append(ts, Transfer{Src: t.Leader(i), Dst: t.Leader((i + 1) % n), Bytes: nodeBytes[mod(i-step, n)]})
+			}
+			s.runStep(ts)
+		}
+	}
+	// Leaders deliver each member's shard.
+	var scatter []Transfer
+	for node := 0; node < n; node++ {
+		lead := t.Leader(node)
+		for _, r := range t.NodeRanks(node) {
+			if r != lead {
+				scatter = append(scatter, Transfer{Src: lead, Dst: r, Bytes: chunkBytes[r]})
+			}
+		}
+	}
+	s.runStep(scatter)
+}
+
+// hierarchicalBroadcast schedules root → other node leaders (binomial over
+// NIC links) followed by concurrent intra-node binomial trees. The root
+// acts as its own node's leader.
+func hierarchicalBroadcast(s *sim, bytes, root int) {
+	t := s.topo
+	n := t.Nodes()
+	rootNode := t.Node(root)
+	// Inter-node stage: root plus the leaders of the other nodes.
+	heads := []int{root}
+	for node := 0; node < n; node++ {
+		if node != rootNode {
+			heads = append(heads, t.Leader(node))
+		}
+	}
+	s.runRounds(binomialBcastRounds(heads, 0, bytes))
+	// Intra-node stage: each node's tree rooted at its head.
+	var groups [][][]Transfer
+	for node := 0; node < n; node++ {
+		ranks := t.NodeRanks(node)
+		if len(ranks) <= 1 {
+			continue
+		}
+		rootIdx := 0
+		if node == rootNode {
+			for i, r := range ranks {
+				if r == root {
+					rootIdx = i
+				}
+			}
+		}
+		groups = append(groups, binomialBcastRounds(ranks, rootIdx, bytes))
+	}
+	s.runRounds(mergeRounds(groups))
+}

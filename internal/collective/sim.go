@@ -1,0 +1,122 @@
+package collective
+
+import "fmt"
+
+// Transfer is one point-to-point message inside a schedule step.
+type Transfer struct {
+	Src, Dst int
+	// Bytes is the wire size; zero-byte transfers still pay the link α
+	// (they are real messages).
+	Bytes int
+}
+
+// sim executes a step schedule over the topology's links, advancing
+// per-rank clocks and per-link occupancy. One sim instance covers one
+// collective; occupancy does not persist across collectives because the
+// SPMD rendezvous serializes them.
+type sim struct {
+	topo *Topology
+	// clock is each rank's simulated time.
+	clock []float64
+	// egress/ingress are per-rank NVLink port busy-until times.
+	egress, ingress []float64
+	// nicOut/nicIn are per-node NIC busy-until times (full duplex).
+	nicOut, nicIn []float64
+
+	op, alg string
+	step    int
+	events  []Event
+}
+
+// newSim starts a collective at the given per-rank arrival times, charging
+// the per-collective launch cost to every rank.
+func newSim(topo *Topology, op, alg string, starts []float64) *sim {
+	clock := make([]float64, topo.P)
+	for i := range clock {
+		clock[i] = starts[i] + topo.Launch
+	}
+	n := topo.Nodes()
+	return &sim{
+		topo: topo, clock: clock,
+		egress: make([]float64, topo.P), ingress: make([]float64, topo.P),
+		nicOut: make([]float64, n), nicIn: make([]float64, n),
+		op: op, alg: alg,
+	}
+}
+
+// runStep executes one step: every transfer's start time is derived from
+// the rank clocks at step entry, so transfers within a step are concurrent
+// except where they share a link — shared egress ports or NICs serialize
+// in transfer order, which is how contention emerges from the schedule.
+func (s *sim) runStep(ts []Transfer) {
+	if len(ts) == 0 {
+		s.step++
+		return
+	}
+	snap := append([]float64(nil), s.clock...)
+	for _, tr := range ts {
+		if tr.Src == tr.Dst {
+			continue
+		}
+		if tr.Src < 0 || tr.Src >= s.topo.P || tr.Dst < 0 || tr.Dst >= s.topo.P || tr.Bytes < 0 {
+			panic(fmt.Sprintf("collective: bad transfer %+v for P=%d", tr, s.topo.P))
+		}
+		ready := snap[tr.Src]
+		if snap[tr.Dst] > ready {
+			ready = snap[tr.Dst]
+		}
+		var start, end float64
+		var link LinkClass
+		if s.topo.SameNode(tr.Src, tr.Dst) {
+			link = LinkIntra
+			start = max3(ready, s.egress[tr.Src], s.ingress[tr.Dst])
+			end = start + s.topo.IntraAlpha + s.topo.IntraBeta*float64(tr.Bytes)
+			s.egress[tr.Src], s.ingress[tr.Dst] = end, end
+		} else {
+			link = LinkInter
+			sn, dn := s.topo.Node(tr.Src), s.topo.Node(tr.Dst)
+			start = max3(ready, s.nicOut[sn], s.nicIn[dn])
+			end = start + s.topo.InterAlpha + s.topo.InterBeta*float64(tr.Bytes)
+			s.nicOut[sn], s.nicIn[dn] = end, end
+		}
+		if end > s.clock[tr.Src] {
+			s.clock[tr.Src] = end
+		}
+		if end > s.clock[tr.Dst] {
+			s.clock[tr.Dst] = end
+		}
+		s.events = append(s.events, Event{
+			Op: s.op, Algorithm: s.alg, Step: s.step,
+			Src: tr.Src, Dst: tr.Dst, Link: link, Bytes: tr.Bytes,
+			Start: start, End: end,
+		})
+	}
+	s.step++
+}
+
+// runRounds executes a sequence of steps.
+func (s *sim) runRounds(rounds [][]Transfer) {
+	for _, r := range rounds {
+		s.runStep(r)
+	}
+}
+
+func max3(a, b, c float64) float64 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -65,6 +65,44 @@ func BuildLookupTable(cfg cluster.Config, gpuCounts []int) (*LookupTable, error)
 	return t, nil
 }
 
+// BuildLookupTableSim builds the same table from the step-level collective
+// engine instead of the closed-form α–β model: each (size, GPU count) cell
+// is the autotuner's predicted all-gather time on the simulated topology,
+// so the table reflects the algorithm the engine would actually dispatch
+// (hierarchical inter-node, ring intra-node, …) including per-link
+// contention. This is the closest stand-in for the paper's offline
+// micro-benchmarks, which likewise measure whatever schedule the real
+// library picks.
+func BuildLookupTableSim(cfg cluster.Config, gpuCounts []int) (*LookupTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(gpuCounts) == 0 {
+		return nil, fmt.Errorf("perfmodel: no GPU counts")
+	}
+	counts := append([]int(nil), gpuCounts...)
+	sort.Ints(counts)
+	var sizes []int
+	for s := 1 << 10; s <= 1<<28; s <<= 1 { // 1 KB .. 256 MB
+		sizes = append(sizes, s)
+	}
+	t := &LookupTable{cfg: cfg, sizes: sizes, counts: counts}
+	for _, p := range counts {
+		eng := cluster.EngineFor(cfg, p)
+		row := make([]float64, len(sizes))
+		for i, sz := range sizes {
+			_, sec := eng.PredictAllGather(sz)
+			if sec <= 0 {
+				row[i] = math.Inf(1)
+				continue
+			}
+			row[i] = float64(sz) / sec
+		}
+		t.tput = append(t.tput, row)
+	}
+	return t, nil
+}
+
 // Throughput returns the interpolated all-gather throughput (bytes/s of
 // per-worker chunk) for a message of the given size across p GPUs. Sizes
 // and counts outside the table clamp to its edges.

@@ -83,6 +83,11 @@ type Result struct {
 	FinalAcc    float64
 	MeanCR      float64 // mean compression ratio over all compress calls
 	CommSeconds map[string]float64
+	// AlgSeconds is the mean per-worker simulated time spent in each
+	// collective algorithm, keyed "op/algorithm" (e.g. "allgather/
+	// hierarchical") — the step-level engine's view of where communication
+	// time went, complementing CommSeconds' per-category view.
+	AlgSeconds map[string]float64
 	// Model is rank 0's trained replica, usable for post-hoc evaluation.
 	Model *nn.Sequential
 }
@@ -115,7 +120,7 @@ func Run(c Config) (*Result, error) {
 		return nil, fmt.Errorf("train: incomplete config %+v", cfg)
 	}
 	cl := cluster.New(cfg.Platform, cfg.Workers)
-	result := &Result{CommSeconds: map[string]float64{}}
+	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
 	var mu sync.Mutex
 	var firstErr error
 	var crSum float64
@@ -140,6 +145,10 @@ func Run(c Config) (*Result, error) {
 	merged, _ := cluster.MergeStats(workers)
 	for k, v := range merged {
 		result.CommSeconds[k] = v / float64(cfg.Workers)
+	}
+	result.AlgSeconds = map[string]float64{}
+	for k, v := range cluster.MergeAlgStats(workers) {
+		result.AlgSeconds[k] = v / float64(cfg.Workers)
 	}
 	return result, nil
 }

@@ -61,6 +61,17 @@ func TestKFACTrainingConverges(t *testing.T) {
 	if res.CommSeconds["kfac-allgather"] <= 0 || res.CommSeconds["kfac-allreduce"] <= 0 {
 		t.Fatalf("missing KFAC comm categories: %v", res.CommSeconds)
 	}
+	// The step-level engine attributes the same time per algorithm.
+	var algTotal float64
+	for k, v := range res.AlgSeconds {
+		if v < 0 {
+			t.Fatalf("negative algorithm time %s=%g", k, v)
+		}
+		algTotal += v
+	}
+	if algTotal <= 0 {
+		t.Fatalf("no per-algorithm attribution: %v", res.AlgSeconds)
+	}
 }
 
 func TestKFACWithCOMPSOMatchesUncompressedAccuracy(t *testing.T) {
