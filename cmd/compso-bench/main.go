@@ -12,6 +12,13 @@
 // Experiments: fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2,
 // comm, ablation. With -json PATH the structured rows of every experiment
 // run are additionally written to PATH as a {experiment: rows} JSON object.
+//
+// Observability: -trace trace.json (and optionally -metrics metrics.json)
+// additionally runs one fully instrumented 8-GPU K-FAC + COMPSO job and
+// writes a Perfetto-viewable Chrome trace of the simulated timeline plus a
+// flat metrics dump, after self-checking that the collective span sums
+// reconcile with the run's AlgSeconds attribution. -validate FILE checks an
+// existing trace against the Chrome trace-event schema and exits.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"strings"
 
 	"compso/internal/experiments"
+	"compso/internal/obs"
 )
 
 func main() {
@@ -29,7 +37,24 @@ func main() {
 	iters := flag.Int("iters", 0, "training iteration budget for convergence experiments (0 = paper-scale default)")
 	measure := flag.Bool("measure", false, "fig8: also measure real Go implementation throughput")
 	jsonPath := flag.String("json", "", "write machine-readable results of the selected experiments to this file")
+	tracePath := flag.String("trace", "", "also run an instrumented 8-GPU K-FAC+COMPSO job and write its Chrome trace to this file")
+	metricsPath := flag.String("metrics", "", "with the instrumented run, write its flat metrics dump (JSON) to this file")
+	validatePath := flag.String("validate", "", "validate an existing Chrome trace file against the trace-event schema and exit")
 	flag.Parse()
+
+	if *validatePath != "" {
+		blob, err := os.ReadFile(*validatePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := obs.ValidateChromeTrace(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "validate: %s: %v\n", *validatePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace\n", *validatePath)
+		return
+	}
 
 	collected := map[string]any{}
 	runners := map[string]func() error{
@@ -172,6 +197,12 @@ func main() {
 	for _, name := range selected {
 		if err := runners[name](); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" || *metricsPath != "" {
+		if err := experiments.CaptureObserved(*tracePath, *metricsPath, *iters); err != nil {
+			fmt.Fprintf(os.Stderr, "observed run: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -19,12 +19,14 @@ import (
 	"math/rand/v2"
 	"os"
 	"sort"
+	"strings"
 
 	"compso/internal/cluster"
 	"compso/internal/compress"
 	"compso/internal/compso"
 	"compso/internal/kfac"
 	"compso/internal/modelzoo"
+	"compso/internal/obs"
 	"compso/internal/opt"
 	"compso/internal/train"
 )
@@ -36,8 +38,10 @@ func main() {
 	gpus := flag.Int("gpus", 4, "simulated GPU count")
 	iters := flag.Int("iters", 120, "training iterations")
 	seed := flag.Int64("seed", 42, "seed for model init, data and stochastic rounding")
-	platform := flag.Int("platform", 1, "simulated platform: 1 (Slingshot-10) or 2 (Slingshot-11)")
+	platform := flag.String("platform", "slingshot10",
+		"simulated platform: "+strings.Join(cluster.Platforms(), ", ")+" (1/2 accepted as aliases)")
 	aggM := flag.Int("agg", 4, "layer aggregation factor")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the simulated timeline to this file")
 	flag.Parse()
 
 	builders := map[string]func(rng *rand.Rand) *modelzoo.ProxyTask{
@@ -60,10 +64,23 @@ func main() {
 		sched = &opt.SmoothLR{BaseLR: 0.02, MinLR: 0.002, Warmup: *iters / 20, Total: *iters}
 	}
 
+	// Numeric aliases map onto the registry names for compatibility with
+	// the old -platform 1|2 flag.
+	switch *platform {
+	case "1":
+		*platform = "slingshot10"
+	case "2":
+		*platform = "slingshot11"
+	}
+	plat, err := cluster.PlatformByName(*platform)
+	if err != nil {
+		fail("%v", err)
+	}
+
 	cfg := train.Config{
 		BuildTask:    builder,
 		Workers:      *gpus,
-		Platform:     cluster.Platform1(),
+		Platform:     plat,
 		Iters:        *iters,
 		Seed:         *seed,
 		Schedule:     sched,
@@ -72,8 +89,8 @@ func main() {
 		StatFreq:     1,
 		AggregationM: *aggM,
 	}
-	if *platform == 2 {
-		cfg.Platform = cluster.Platform2()
+	if *tracePath != "" {
+		cfg.Obs = obs.NewRecorder()
 	}
 	if *optimizer == "kfac-cholesky" {
 		cfg.KFAC.Inversion = kfac.CholeskyInverse
@@ -98,6 +115,19 @@ func main() {
 	res, err := train.Run(cfg)
 	if err != nil {
 		fail("training failed: %v", err)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		if err := cfg.Obs.WriteChromeTrace(f); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", *tracePath)
 	}
 
 	fmt.Printf("model=%s optimizer=%s compressor=%s gpus=%d iters=%d\n\n",

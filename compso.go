@@ -95,7 +95,10 @@ type OnlineProfile = perfmodel.OnlineProfile
 // NewCompressor returns a COMPSO compressor with the paper's default
 // configuration (filter+SR at eb 4e-3, ANS back-end) and a deterministic
 // stochastic-rounding stream derived from seed.
-func NewCompressor(seed int64) *COMPSO { return compress.NewCOMPSO(seed) }
+//
+// Deprecated-in-doc: New(WithSeed(seed)) is the preferred constructor; this
+// wrapper remains for existing callers.
+func NewCompressor(seed int64) *COMPSO { return New(WithSeed(seed)) }
 
 // NewQSGD returns the QSGD baseline compressor (fixed-bit SR quantization
 // with Elias-gamma coding).
@@ -117,6 +120,24 @@ func NewController(schedule Schedule, totalIters int) *Controller {
 	return internalcompso.DefaultController(schedule, totalIters)
 }
 
+// Sentinel errors for the facade's lookup and decode paths. Match them
+// with errors.Is; the wrapped messages carry the offending name and the
+// known alternatives.
+var (
+	// ErrUnknownCodec is wrapped by CodecByName for unregistered encoder
+	// names.
+	ErrUnknownCodec = encoding.ErrUnknownCodec
+	// ErrUnknownModel is wrapped by ModelByName for unregistered
+	// evaluation profiles.
+	ErrUnknownModel = modelzoo.ErrUnknownModel
+	// ErrUnknownPlatform is wrapped by PlatformByName for unregistered
+	// platforms.
+	ErrUnknownPlatform = cluster.ErrUnknownPlatform
+	// ErrCorruptBlob is wrapped by every Decompress implementation on
+	// malformed input.
+	ErrCorruptBlob = compress.ErrCorrupt
+)
+
 // Codecs returns the Table 2 lossless encoder set (ANS, Bitcomp, Cascaded,
 // Deflate, Gdeflate, LZ4, Snappy, Zstd).
 func Codecs() []Codec { return encoding.All() }
@@ -124,11 +145,27 @@ func Codecs() []Codec { return encoding.All() }
 // CodecByName looks up a lossless encoder by its registry name.
 func CodecByName(name string) (Codec, error) { return encoding.ByName(name) }
 
+// Platforms returns the registered platform names ("slingshot10",
+// "slingshot11") for PlatformByName, mirroring the Codecs/Models registry
+// pattern.
+func Platforms() []string { return cluster.Platforms() }
+
+// PlatformByName looks up an evaluation platform by registry name:
+// "slingshot10" is the paper's Platform 1 (100 Gbps per node) and
+// "slingshot11" its Platform 2 (200 Gbps). Unknown names return an error
+// wrapping ErrUnknownPlatform.
+func PlatformByName(name string) (Platform, error) { return cluster.PlatformByName(name) }
+
 // Platform1 and Platform2 return the paper's two evaluation clusters
 // (Slingshot-10 and Slingshot-11, four A100-class GPUs per node).
+//
+// Deprecated-in-doc: PlatformByName("slingshot10") is the preferred
+// lookup; these aliases remain for existing callers.
 func Platform1() Platform { return cluster.Platform1() }
 
 // Platform2 returns the Slingshot-11 platform.
+//
+// Deprecated-in-doc: prefer PlatformByName("slingshot11").
 func Platform2() Platform { return cluster.Platform2() }
 
 // DefaultKFAC returns the K-FAC configuration used across the experiments.

@@ -19,12 +19,16 @@ import (
 func main() {
 	const iters = 100
 	schedule := &compso.StepLR{BaseLR: 0.03, Drops: []int{iters * 2 / 3}, Gamma: 0.1}
+	platform, err := compso.PlatformByName("slingshot10")
+	if err != nil {
+		log.Fatal(err)
+	}
 	base := compso.TrainConfig{
 		BuildTask: func(rng *rand.Rand) *compso.ProxyTask {
 			return compso.ProxyResNet(rng, 11)
 		},
 		Workers:      4,
-		Platform:     compso.Platform1(),
+		Platform:     platform,
 		Iters:        iters,
 		Seed:         77,
 		Schedule:     schedule,
@@ -43,7 +47,7 @@ func main() {
 		{name: "KFAC+COMPSO", mut: func(c *compso.TrainConfig) {
 			c.UseKFAC = true
 			c.NewCompressor = func(rank int) compso.Compressor {
-				return compso.NewCompressor(int64(rank) + 50)
+				return compso.New(compso.WithSeed(int64(rank) + 50))
 			}
 			c.Controller = compso.NewController(schedule, iters)
 		}},

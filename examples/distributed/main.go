@@ -18,13 +18,17 @@ import (
 func main() {
 	const iters = 80
 	schedule := &compso.StepLR{BaseLR: 0.03, Drops: []int{iters * 2 / 3}, Gamma: 0.1}
+	platform, err := compso.PlatformByName("slingshot10")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	base := compso.TrainConfig{
 		BuildTask: func(rng *rand.Rand) *compso.ProxyTask {
 			return compso.ProxyResNet(rng, 7)
 		},
 		Workers:      8,
-		Platform:     compso.Platform1(),
+		Platform:     platform,
 		Iters:        iters,
 		Seed:         123,
 		Schedule:     schedule,
@@ -39,11 +43,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("training K-FAC + COMPSO (adaptive bounds) ...")
+	fmt.Println("training K-FAC + COMPSO (adaptive bounds, observed) ...")
+	obs := compso.NewObserver()
 	compressed := base
+	compressed.Obs = obs
 	compressed.NewCompressor = func(rank int) compso.Compressor {
-		c := compso.NewCompressor(int64(rank) + 1000)
-		return c
+		return compso.New(compso.WithSeed(int64(rank) + 1000))
 	}
 	compressed.Controller = compso.NewController(schedule, iters)
 	withCompso, err := compso.Train(compressed)
@@ -59,6 +64,14 @@ func main() {
 	fmt.Printf("\nCOMPSO mean compression ratio: %.1fx\n", withCompso.MeanCR)
 	fmt.Printf("simulated all-gather time reduction: %.1fx\n",
 		plain.CommSeconds["kfac-allgather"]/withCompso.CommSeconds["kfac-allgather"])
+
+	// The observer saw the whole compressed run: simulated seconds per
+	// span category, summed across the 8 workers.
+	fmt.Println("\nobserved simulated seconds by span category (all workers):")
+	snap := obs.Snapshot()
+	for cat, sec := range snap.SpanSeconds() {
+		fmt.Printf("  %-14s %.4fs\n", cat, sec)
+	}
 }
 
 func pct(acc float64) string {

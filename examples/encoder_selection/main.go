@@ -33,8 +33,7 @@ func main() {
 	var measurements []perfmodel.EncoderMeasurement
 	fmt.Printf("%-10s %-8s %-12s %-12s\n", "encoder", "CR", "comp MB/s", "decomp MB/s")
 	for _, codec := range compso.Codecs() {
-		c := compso.NewCompressor(7)
-		c.Codec = codec
+		c := compso.New(compso.WithSeed(7), compso.WithCodec(codec))
 		start := time.Now()
 		blob, err := c.Compress(sample)
 		if err != nil {
@@ -74,7 +73,11 @@ func main() {
 	}
 
 	// Offline half: the platform lookup table.
-	lt, err := compso.BuildLookupTable(compso.Platform1(), []int{8, 16, 32, 64})
+	platform, err := compso.PlatformByName("slingshot10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lt, err := compso.BuildLookupTable(platform, []int{8, 16, 32, 64})
 	if err != nil {
 		log.Fatal(err)
 	}

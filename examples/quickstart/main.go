@@ -31,8 +31,9 @@ func main() {
 	}
 
 	// COMPSO with the paper's defaults: filter bound 4e-3, stochastic
-	// rounding bound 4e-3, ANS back-end encoder.
-	c := compso.NewCompressor(42)
+	// rounding bound 4e-3, ANS back-end encoder. Options override any
+	// subset (WithErrorBound, WithFilterBound, WithCodec, WithObserver).
+	c := compso.New(compso.WithSeed(42))
 	blob, err := c.Compress(gradient)
 	if err != nil {
 		log.Fatal(err)
@@ -55,8 +56,11 @@ func main() {
 
 	// Tighter bounds trade ratio for fidelity; looser bounds the reverse.
 	for _, eb := range []float64{1e-2, 4e-3, 1e-3} {
-		c := compso.NewCompressor(42)
-		c.EBFilter, c.EBQuant = eb, eb
+		c := compso.New(
+			compso.WithSeed(42),
+			compso.WithErrorBound(eb),
+			compso.WithFilterBound(eb),
+		)
 		blob, err := c.Compress(gradient)
 		if err != nil {
 			log.Fatal(err)

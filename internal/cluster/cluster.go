@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"compso/internal/collective"
+	"compso/internal/obs"
 )
 
 // Cluster executes an SPMD function on P simulated workers (goroutines).
@@ -18,6 +19,7 @@ type Cluster struct {
 	p      int
 	rv     *rendezvous
 	engine *collective.Engine
+	rec    *obs.Recorder
 
 	pairMu sync.Mutex
 	pairs  map[pairKey]*pairSlot
@@ -52,6 +54,18 @@ func (c *Cluster) Size() int { return c.p }
 // Engine returns the collective engine dispatching this cluster's
 // collectives (for prediction queries and tuner inspection).
 func (c *Cluster) Engine() *collective.Engine { return c.engine }
+
+// Observe attaches an observability recorder: every collective records a
+// per-rank span covering exactly the simulated time the rank was blocked
+// (so per-algorithm span sums reconcile with AlgSeconds), plus wire-byte
+// counters and autotuner-pick counters. With the recorder's transfer-span
+// option, each scheduled point-to-point transfer is recorded too. A nil
+// recorder (the default) keeps every hot path allocation-free. Call before
+// Run.
+func (c *Cluster) Observe(rec *obs.Recorder) { c.rec = rec }
+
+// Recorder returns the attached recorder (nil when observability is off).
+func (c *Cluster) Recorder() *obs.Recorder { return c.rec }
 
 // Run executes fn on every worker concurrently and blocks until all
 // return. It returns the workers in rank order for post-run inspection
@@ -90,10 +104,25 @@ type Worker struct {
 	traceHead  int
 	evTotal    int64
 	traceIsOff bool
+	// spanCtx is the current parent span for spans this worker records
+	// (set by the training loop around steps and phases).
+	spanCtx obs.SpanID
 }
 
 // Rank returns the worker's 0-based rank.
 func (w *Worker) Rank() int { return w.rank }
+
+// Recorder returns the cluster's observability recorder; nil means
+// observability is disabled (the default).
+func (w *Worker) Recorder() *obs.Recorder { return w.cluster.rec }
+
+// SetSpanContext sets the parent span under which this worker's collective
+// spans nest (the training loop points it at the current step or phase
+// span). A zero ID detaches.
+func (w *Worker) SetSpanContext(id obs.SpanID) { w.spanCtx = id }
+
+// SpanContext returns the current parent span.
+func (w *Worker) SpanContext() obs.SpanID { return w.spanCtx }
 
 // Size returns the world size.
 func (w *Worker) Size() int { return w.cluster.p }
@@ -149,20 +178,70 @@ func (w *Worker) account(tEnd float64, category string) {
 	}
 }
 
-// note records a collective outcome into the worker's per-algorithm stats
-// and event trace. Must be called before account advances the clock.
-func (w *Worker) note(out *collective.Outcome, tEnd float64) {
+// note records a collective outcome into the worker's per-algorithm stats,
+// the observability recorder, and the event trace. Must be called before
+// account advances the clock: the recorded span covers [w.simTime, tEnd],
+// exactly the interval account charges, so per-algorithm span sums
+// reconcile with AlgSeconds by construction.
+func (w *Worker) note(out *collective.Outcome, tEnd float64, category string) {
 	if out == nil {
 		return
 	}
 	if tEnd > w.simTime {
 		w.algStats[out.Op+"/"+out.Algorithm] += tEnd - w.simTime
 	}
+	if rec := w.cluster.rec; rec != nil {
+		w.noteObs(rec, out, tEnd, category)
+	}
 	if w.traceIsOff {
 		return
 	}
 	for _, ev := range out.EventsFor(w.rank) {
 		w.addEvent(ev)
+	}
+}
+
+// noteObs records the collective into the observability layer: a per-rank
+// blocked-time span, once-per-collective wire-byte and autotuner-pick
+// counters (rank 0 only, so totals are not multiplied by P), and — with
+// transfer spans enabled — one link-occupancy span per scheduled transfer
+// (each event recorded by its source rank so it appears exactly once).
+func (w *Worker) noteObs(rec *obs.Recorder, out *collective.Outcome, tEnd float64, category string) {
+	end := tEnd
+	if end < w.simTime {
+		end = w.simTime
+	}
+	attrs := obs.NoAttrs
+	attrs.Algorithm = out.Algorithm
+	attrs.Label = category
+	attrs.BytesIn = int64(out.Bytes)
+	rec.Span(w.spanCtx, w.rank, obs.CatCollective, out.Op, w.simTime, end, attrs)
+	if w.rank == 0 {
+		rec.Counter("collective/picks/" + out.Op + "/" + out.Algorithm).Inc()
+		rec.Counter("wire/" + category + "/bytes").Add(float64(out.Bytes))
+		rec.Counter("wire/total/bytes").Add(float64(out.Bytes))
+	}
+	if !rec.TransferSpans() {
+		return
+	}
+	for _, ev := range out.Events {
+		src := ev.Src
+		if src < 0 {
+			// Analytic summary events have no endpoints; record once.
+			if w.rank != 0 {
+				continue
+			}
+			src = 0
+		} else if src != w.rank {
+			continue
+		}
+		ta := obs.NoAttrs
+		ta.Algorithm = ev.Algorithm
+		ta.Link = ev.Link.String()
+		ta.Peer = ev.Dst
+		ta.Step = ev.Step
+		ta.BytesIn = int64(ev.Bytes)
+		rec.Span(0, src, obs.CatTransfer, ev.Op, ev.Start, ev.End, ta)
 	}
 }
 
@@ -207,7 +286,7 @@ func (w *Worker) AllReduce(data []float64, category string) {
 	})
 	cr := res.(collResult)
 	copy(data, cr.data.([]float64))
-	w.note(cr.out, tEnd)
+	w.note(cr.out, tEnd, category)
 	w.account(tEnd, category)
 }
 
@@ -225,7 +304,7 @@ func (w *Worker) AllGather(payload []byte, category string) [][]byte {
 		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
 	cr := res.(collResult)
-	w.note(cr.out, tEnd)
+	w.note(cr.out, tEnd, category)
 	w.account(tEnd, category)
 	return cr.data.([][]byte)
 }
@@ -242,7 +321,7 @@ func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
 		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
 	cr := res.(collResult)
-	w.note(cr.out, tEnd)
+	w.note(cr.out, tEnd, category)
 	w.account(tEnd, category)
 	return cr.data.([]byte)
 }
@@ -266,7 +345,7 @@ func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
 		return res, out.Ends
 	})
 	cr := res.(collResult)
-	w.note(cr.out, tEnd)
+	w.note(cr.out, tEnd, category)
 	w.account(tEnd, category)
 	return cr.data.([]float64)
 }
@@ -348,6 +427,19 @@ func (w *Worker) SendRecv(peer int, payload []byte, category string) []byte {
 func (w *Worker) noteP2P(peer, bytes int, start, tEnd float64) {
 	if tEnd > w.simTime {
 		w.algStats[collective.OpSendRecv+"/p2p"] += tEnd - w.simTime
+	}
+	if rec := w.cluster.rec; rec != nil {
+		// Cover exactly the interval account() charges so p2p span sums
+		// reconcile with AlgSeconds.
+		end := tEnd
+		if end < w.simTime {
+			end = w.simTime
+		}
+		a := obs.NoAttrs
+		a.Algorithm = "p2p"
+		a.Peer = peer
+		a.BytesIn = int64(bytes)
+		rec.Span(w.spanCtx, w.rank, obs.CatCollective, collective.OpSendRecv, w.simTime, end, a)
 	}
 	if w.traceIsOff {
 		return

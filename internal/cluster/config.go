@@ -7,10 +7,16 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"compso/internal/collective"
 )
+
+// ErrUnknownPlatform is returned (wrapped) by PlatformByName when no
+// registered platform matches the requested name.
+var ErrUnknownPlatform = errors.New("cluster: unknown platform")
 
 // Config describes a platform: topology and link parameters.
 type Config struct {
@@ -76,6 +82,34 @@ func Platform2() Config {
 		CongestionLog:    0.25,
 		CollectiveLaunch: 5e-5,
 	}
+}
+
+// platformRegistry maps short platform names to constructors. Keys are the
+// interconnect generations the paper evaluates.
+var platformRegistry = map[string]func() Config{
+	"slingshot10": Platform1,
+	"slingshot11": Platform2,
+}
+
+// Platforms returns the registered platform names in sorted order.
+func Platforms() []string {
+	names := make([]string, 0, len(platformRegistry))
+	for name := range platformRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PlatformByName returns the platform registered under name
+// ("slingshot10" → Platform1, "slingshot11" → Platform2). Unknown names
+// return an error wrapping ErrUnknownPlatform.
+func PlatformByName(name string) (Config, error) {
+	ctor, ok := platformRegistry[name]
+	if !ok {
+		return Config{}, fmt.Errorf("%w %q (have %v)", ErrUnknownPlatform, name, Platforms())
+	}
+	return ctor(), nil
 }
 
 // Validate reports configuration errors.

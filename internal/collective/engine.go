@@ -21,6 +21,9 @@ type CostModel struct {
 type Outcome struct {
 	Op        string
 	Algorithm string
+	// Bytes is the collective's total wire size (the sum of the spec's
+	// per-rank sizes), for observability attribution.
+	Bytes int
 	// Start is the collective's logical begin (the last arrival).
 	Start float64
 	// Ends holds each rank's simulated completion time. Ranks that finish
@@ -200,7 +203,7 @@ func (e *Engine) dispatch(sp spec, starts []float64) *Outcome {
 		for i := range ends {
 			ends[i] = start
 		}
-		return &Outcome{Op: sp.op, Algorithm: "trivial", Start: start, Ends: ends}
+		return &Outcome{Op: sp.op, Algorithm: "trivial", Bytes: sp.total(), Start: start, Ends: ends}
 	}
 	alg := e.pick(sp)
 	if alg == AlgAnalytic {
@@ -214,14 +217,14 @@ func (e *Engine) dispatch(sp spec, starts []float64) *Outcome {
 			link = LinkInter
 		}
 		return &Outcome{
-			Op: sp.op, Algorithm: AlgAnalytic, Start: start, Ends: ends,
+			Op: sp.op, Algorithm: AlgAnalytic, Bytes: sp.total(), Start: start, Ends: ends,
 			Events: []Event{{Op: sp.op, Algorithm: AlgAnalytic, Src: -1, Dst: -1,
 				Link: link, Bytes: sp.total(), Start: start, End: t}},
 		}
 	}
 	s := newSim(e.topo, sp.op, alg, starts)
 	e.scheduleFor(alg, sp)(s)
-	out := &Outcome{Op: sp.op, Algorithm: alg, Start: start, Ends: s.clock, Events: s.events}
+	out := &Outcome{Op: sp.op, Algorithm: alg, Bytes: sp.total(), Start: start, Ends: s.clock, Events: s.events}
 	e.mu.Lock()
 	e.tuner.record(sp.op, alg, sp.total(), out.MaxEnd()-start)
 	e.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 
 	"compso/internal/encoding"
 	"compso/internal/filter"
+	"compso/internal/obs"
 	"compso/internal/quant"
 	"compso/internal/xrand"
 )
@@ -43,7 +44,17 @@ type COMPSO struct {
 	// instead of the default byte-plane layout. Byte planes entropy-code
 	// better (symbols stay byte-aligned); bit packing is the ablation.
 	BitPacked bool
-	rng       *rand.Rand
+	// LastFilterTotal and LastFilterKept report the most recent Compress
+	// call's filter outcome: how many input values it saw and how many
+	// survived the filter (all of them when the filter is disabled). The
+	// observability layer reads these to derive the filter hit rate.
+	LastFilterTotal int
+	LastFilterKept  int
+	// Obs, when non-nil, receives per-call compression metrics: the
+	// "compress/calls" counter and the "compress/ratio" and
+	// "compress/filter_hit_rate" histograms. Nil costs nothing.
+	Obs *obs.Recorder
+	rng *rand.Rand
 }
 
 // NewCOMPSO returns a COMPSO compressor in aggressive mode with the paper's
@@ -61,6 +72,11 @@ func NewCOMPSO(seed int64) *COMPSO {
 
 // Name implements Compressor.
 func (c *COMPSO) Name() string { return "COMPSO" }
+
+// Reseed replaces the stochastic-rounding RNG with a fresh deterministic
+// stream. The options facade uses it to make per-rank seeding orthogonal to
+// the other construction options.
+func (c *COMPSO) Reseed(seed int64) { c.rng = xrand.NewSeeded(seed) }
 
 // codec returns the configured back-end, defaulting to ANS.
 func (c *COMPSO) codec() encoding.Codec {
@@ -101,6 +117,8 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 		bitmap, kept = filter.Apply(src, c.EBFilter)
 		filterFlag = 1
 	}
+	c.LastFilterTotal = len(src)
+	c.LastFilterKept = len(kept)
 	codes := quant.QuantizeEB(kept, c.EBQuant, c.Rounding, c.rng)
 
 	cdc := c.codec()
@@ -125,6 +143,7 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 		out = append(out, byte(1))
 		out = putHeader(out, 0xBB, len(enc))
 		out = append(out, enc...)
+		c.observe(len(src), len(out))
 		return out, nil
 	}
 	// Byte-plane layout: entropy coders get byte-aligned symbol streams
@@ -137,7 +156,24 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 		out = putHeader(out, 0xBB, len(enc))
 		out = append(out, enc...)
 	}
+	c.observe(len(src), len(out))
 	return out, nil
+}
+
+// observe feeds the attached recorder (if any) with one Compress call's
+// metrics.
+func (c *COMPSO) observe(nIn, nOut int) {
+	if c.Obs == nil {
+		return
+	}
+	c.Obs.Counter("compress/calls").Inc()
+	if nIn > 0 && nOut > 0 {
+		c.Obs.Histogram("compress/ratio").Observe(float64(4*nIn) / float64(nOut))
+	}
+	if c.LastFilterTotal > 0 {
+		c.Obs.Histogram("compress/filter_hit_rate").
+			Observe(1 - float64(c.LastFilterKept)/float64(c.LastFilterTotal))
+	}
 }
 
 // Decompress implements Compressor.

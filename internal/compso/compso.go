@@ -23,6 +23,15 @@ type Strategy struct {
 	EBFilter, EBQuant float64
 }
 
+// String renders the strategy for logs and trace events, e.g.
+// "filter+SR(ebf=4e-3,ebq=4e-3)" or "SR-only(ebq=2e-3)".
+func (s Strategy) String() string {
+	if s.FilterEnabled {
+		return fmt.Sprintf("filter+SR(ebf=%g,ebq=%g)", s.EBFilter, s.EBQuant)
+	}
+	return fmt.Sprintf("SR-only(ebq=%g)", s.EBQuant)
+}
+
 // Controller realizes Algorithm 1 for a given learning-rate schedule.
 type Controller struct {
 	// Schedule drives the stage transitions: *opt.StepLR switches from

@@ -31,6 +31,10 @@ type Codec interface {
 // produced by the matching encoder.
 var ErrCorrupt = errors.New("encoding: corrupt input")
 
+// ErrUnknownCodec is wrapped by ByName when no codec matches the requested
+// registry name.
+var ErrUnknownCodec = errors.New("encoding: unknown codec")
+
 func corruptf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
@@ -56,7 +60,8 @@ func All() []Codec {
 	return out
 }
 
-// ByName returns the codec with the given registry name.
+// ByName returns the codec with the given registry name. Unknown names
+// return an error wrapping ErrUnknownCodec.
 func ByName(name string) (Codec, error) {
 	for _, c := range registry {
 		if c.Name() == name {
@@ -65,7 +70,7 @@ func ByName(name string) (Codec, error) {
 	}
 	names := Names()
 	sort.Strings(names)
-	return nil, fmt.Errorf("encoding: unknown codec %q (have %v)", name, names)
+	return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownCodec, name, names)
 }
 
 // Names lists the registered codec names in registry order.

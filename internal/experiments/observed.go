@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"sort"
+
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/obs"
+	"compso/internal/opt"
+	"compso/internal/train"
+)
+
+// CaptureObserved runs one fully instrumented distributed K-FAC + COMPSO
+// training job (Platform 1, 8 simulated GPUs, per-transfer spans enabled)
+// and writes its Chrome trace and flat metrics dump to the given paths
+// (either may be empty to skip that artifact).
+//
+// Before writing anything it self-checks the capture:
+//
+//   - the trace must carry at least the step, phase, collective, compress
+//     and precondition span categories;
+//   - the per-algorithm collective span sums must reconcile with the
+//     run's AlgSeconds attribution within 1%;
+//   - the emitted trace must pass the Chrome trace-event schema
+//     validation (required keys, monotonic timestamps).
+//
+// iters <= 0 selects a small default budget suitable for CI.
+func CaptureObserved(tracePath, metricsPath string, iters int) error {
+	if iters <= 0 {
+		iters = 12
+	}
+	const workers = 8
+	rec := obs.NewRecorder(obs.WithTransferSpans(true))
+	seed := int64(42)
+	schedule := &opt.StepLR{BaseLR: 0.03, Drops: []int{iters * 2 / 3}, Gamma: 0.1}
+	cfg := train.Config{
+		BuildTask: func(rng *rand.Rand) *modelzoo.ProxyTask {
+			return modelzoo.ProxyResNet(rng, seed)
+		},
+		Workers:  workers,
+		Platform: cluster.Platform1(),
+		Iters:    iters,
+		Seed:     seed,
+		Schedule: schedule,
+		UseKFAC:  true,
+		KFAC:     kfac.DefaultConfig(),
+		NewCompressor: func(rank int) compress.Compressor {
+			return compso.NewCompressor(nil, rank, seed)
+		},
+		Controller:   compso.DefaultController(schedule, iters),
+		AggregationM: 4,
+		Obs:          rec,
+	}
+	res, err := train.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("observed run: %w", err)
+	}
+	snap := res.Metrics
+	if snap == nil {
+		return fmt.Errorf("observed run returned no metrics snapshot")
+	}
+
+	// Category check: the trace must show the full step → phase →
+	// collective/compress/precondition hierarchy.
+	have := map[obs.Category]bool{}
+	for _, cat := range snap.Categories() {
+		have[cat] = true
+	}
+	for _, want := range []obs.Category{
+		obs.CatStep, obs.CatPhase, obs.CatCollective, obs.CatCompress, obs.CatPrecondition,
+	} {
+		if !have[want] {
+			return fmt.Errorf("observed trace is missing span category %q (have %v)", want, snap.Categories())
+		}
+	}
+
+	// Reconciliation: collective span sums (all workers) vs the cluster's
+	// own per-algorithm attribution (mean per worker, so scale down).
+	perWorker := map[string]float64{}
+	for k, v := range snap.AlgSeconds() {
+		perWorker[k] = v / float64(workers)
+	}
+	if err := obs.ReconcileAlgSeconds(perWorker, res.AlgSeconds, 0.01); err != nil {
+		return fmt.Errorf("span/AlgSeconds reconciliation failed: %w", err)
+	}
+
+	fmt.Printf("observed run: %d iterations, %d workers, %d spans (%d dropped), categories %v\n",
+		iters, workers, len(snap.Spans), snap.DroppedSpans, snap.Categories())
+	keys := make([]string, 0, len(res.AlgSeconds))
+	for k := range res.AlgSeconds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-28s cluster %.6fs  spans %.6fs\n", k, res.AlgSeconds[k], perWorker[k])
+	}
+	fmt.Println("span sums reconcile with AlgSeconds within 1%")
+
+	if tracePath != "" {
+		var buf bytes.Buffer
+		if err := snap.WriteChromeTrace(&buf); err != nil {
+			return fmt.Errorf("rendering trace: %w", err)
+		}
+		if err := obs.ValidateChromeTrace(buf.Bytes()); err != nil {
+			return fmt.Errorf("emitted trace failed schema validation: %w", err)
+		}
+		if err := os.WriteFile(tracePath, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Printf("wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", tracePath)
+	}
+	if metricsPath != "" {
+		var buf bytes.Buffer
+		if err := snap.WriteMetricsJSON(&buf); err != nil {
+			return fmt.Errorf("rendering metrics: %w", err)
+		}
+		if err := os.WriteFile(metricsPath, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+		fmt.Printf("wrote metrics dump to %s\n", metricsPath)
+	}
+	return nil
+}

@@ -12,11 +12,16 @@
 package modelzoo
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 
 	"compso/internal/xrand"
 )
+
+// ErrUnknownModel is wrapped by ByName when no evaluation profile matches
+// the requested name.
+var ErrUnknownModel = errors.New("modelzoo: unknown model")
 
 // Layer describes one K-FAC-preconditioned layer's factor dimensions.
 type Layer struct {
@@ -176,14 +181,15 @@ func All() []Profile {
 	return []Profile{ResNet50(), MaskRCNN(), BERTLarge(), GPTNeo125M()}
 }
 
-// ByName looks up a profile.
+// ByName looks up a profile. Unknown names return an error wrapping
+// ErrUnknownModel.
 func ByName(name string) (Profile, error) {
 	for _, p := range All() {
 		if p.Name == name {
 			return p, nil
 		}
 	}
-	return Profile{}, fmt.Errorf("modelzoo: unknown model %q", name)
+	return Profile{}, fmt.Errorf("%w %q", ErrUnknownModel, name)
 }
 
 // TotalParams returns the total K-FAC gradient element count.

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace export: the "JSON Array Format" (trace event format) that
+// chrome://tracing and Perfetto load directly. Simulated seconds map to
+// trace microseconds. Ranks become threads of a "simulated cluster"
+// process; transfer spans get their own "links" process so link-occupancy
+// slices do not fight the rank timelines for nesting.
+
+const (
+	chromePidCluster = 0
+	chromePidLinks   = 1
+)
+
+// chromeEvent is one trace event. Dur is a pointer so metadata events can
+// omit it.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the recorder's spans as a Chrome trace. A nil
+// recorder writes an empty (but valid) trace.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return r.Snapshot().WriteChromeTrace(w)
+}
+
+// WriteChromeTrace writes the snapshot's spans as a Chrome trace.
+func (s Snapshot) WriteChromeTrace(w io.Writer) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+
+	// Metadata: name the processes and one thread per rank seen.
+	ranks := map[int]bool{}
+	linkRanks := map[int]bool{}
+	for _, sp := range s.Spans {
+		if sp.Cat == CatTransfer {
+			linkRanks[sp.Rank] = true
+		} else {
+			ranks[sp.Rank] = true
+		}
+	}
+	meta := func(pid, tid int, name, value string) chromeEvent {
+		return chromeEvent{
+			Name: name, Ph: "M", Ts: 0, Pid: pid, Tid: tid,
+			Args: map[string]any{"name": value},
+		}
+	}
+	trace.TraceEvents = append(trace.TraceEvents,
+		meta(chromePidCluster, 0, "process_name", "simulated cluster"))
+	if len(linkRanks) > 0 {
+		trace.TraceEvents = append(trace.TraceEvents,
+			meta(chromePidLinks, 0, "process_name", "links"))
+	}
+	for _, rank := range sortedKeys(ranks) {
+		trace.TraceEvents = append(trace.TraceEvents,
+			meta(chromePidCluster, rank, "thread_name", fmt.Sprintf("rank %d", rank)))
+	}
+	for _, rank := range sortedKeys(linkRanks) {
+		trace.TraceEvents = append(trace.TraceEvents,
+			meta(chromePidLinks, rank, "thread_name", fmt.Sprintf("rank %d egress", rank)))
+	}
+
+	// Spans, sorted by start time (ties: longer span first so nesting
+	// renders parent-before-child).
+	spans := make([]Span, len(s.Spans))
+	copy(spans, s.Spans)
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].Duration() > spans[j].Duration()
+	})
+	for _, sp := range spans {
+		pid := chromePidCluster
+		if sp.Cat == CatTransfer {
+			pid = chromePidLinks
+		}
+		ev := chromeEvent{
+			Name: sp.Name,
+			Cat:  string(sp.Cat),
+			Ts:   sp.Start * 1e6,
+			Pid:  pid,
+			Tid:  sp.Rank,
+			Args: spanArgs(sp),
+		}
+		if sp.End > sp.Start {
+			dur := sp.Duration() * 1e6
+			ev.Ph, ev.Dur = "X", &dur
+		} else {
+			ev.Ph, ev.S = "i", "t"
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// spanArgs converts a span's attributes to trace args.
+func spanArgs(sp Span) map[string]any {
+	args := map[string]any{}
+	a := sp.Attrs
+	if a.Algorithm != "" {
+		args["algorithm"] = a.Algorithm
+	}
+	if a.Label != "" {
+		args["label"] = a.Label
+	}
+	if a.Link != "" {
+		args["link"] = a.Link
+	}
+	if a.Layer >= 0 {
+		args["layer"] = a.Layer
+	}
+	if a.Peer >= 0 {
+		args["peer"] = a.Peer
+	}
+	if a.Step >= 0 {
+		args["schedule_step"] = a.Step
+	}
+	if a.BytesIn != 0 {
+		args["bytes_in"] = a.BytesIn
+	}
+	if a.BytesOut != 0 {
+		args["bytes_out"] = a.BytesOut
+	}
+	if a.Value != 0 {
+		args["value"] = a.Value
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ValidateChromeTrace checks a serialized trace against the Chrome trace
+// event schema subset this package emits: a traceEvents array whose
+// entries carry name/ph/pid/tid/ts, whose complete ("X") events carry a
+// non-negative dur, and whose non-metadata timestamps are non-negative and
+// monotonically non-decreasing. It is what the CI trace-artifact step runs
+// against the emitted trace.json.
+func ValidateChromeTrace(data []byte) error {
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if trace.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	lastTs := 0.0
+	sawSpan := false
+	for i, ev := range trace.TraceEvents {
+		if _, ok := ev["name"].(string); !ok {
+			return fmt.Errorf("obs: event %d: missing name", i)
+		}
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			return fmt.Errorf("obs: event %d: missing ph", i)
+		}
+		for _, key := range []string{"pid", "tid", "ts"} {
+			if _, ok := ev[key].(float64); !ok {
+				return fmt.Errorf("obs: event %d: missing numeric %s", i, key)
+			}
+		}
+		if ph == "M" {
+			continue // metadata events sit at ts 0 by convention
+		}
+		ts := ev["ts"].(float64)
+		if ts < 0 {
+			return fmt.Errorf("obs: event %d: negative ts %g", i, ts)
+		}
+		if sawSpan && ts < lastTs {
+			return fmt.Errorf("obs: event %d: ts %g not monotonic (previous %g)", i, ts, lastTs)
+		}
+		lastTs, sawSpan = ts, true
+		if ph == "X" {
+			dur, ok := ev["dur"].(float64)
+			if !ok {
+				return fmt.Errorf("obs: event %d: complete event without dur", i)
+			}
+			if dur < 0 {
+				return fmt.Errorf("obs: event %d: negative dur %g", i, dur)
+			}
+		}
+	}
+	return nil
+}

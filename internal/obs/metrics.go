@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing float64 metric. A nil *Counter
+// (returned by a nil Recorder) is a no-op.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add increments the counter by v.
+func (c *Counter) Add(v float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current total (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a last-value metric. A nil *Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v as the gauge's current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed exponential bucket count: bucket i covers
+// [2^(i+histMinExp), 2^(i+1+histMinExp)), with underflow and overflow
+// absorbed into the first and last buckets.
+const (
+	histBuckets = 64
+	histMinExp  = -30 // first bucket lower bound 2^-30 (~1e-9)
+)
+
+// Histogram accumulates a distribution over base-2 exponential buckets
+// plus exact count/sum/min/max. Observations are simulated-time quantities
+// (seconds, bytes, ratios); non-positive values land in the first bucket.
+// A nil *Histogram is a no-op.
+type Histogram struct {
+	mu       sync.Mutex
+	counts   [histBuckets]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts[histBucket(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v float64) int {
+	if !(v > 0) || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	exp := int(math.Floor(math.Log2(v))) - histMinExp
+	if exp < 0 {
+		exp = 0
+	}
+	if exp >= histBuckets {
+		exp = histBuckets - 1
+	}
+	return exp
+}
+
+// BucketBound returns the inclusive lower bound of bucket i.
+func BucketBound(i int) float64 {
+	return math.Ldexp(1, i+histMinExp)
+}
+
+// BucketCount is one non-empty histogram bucket: the inclusive lower
+// bound of the base-2 bucket and its sample count.
+type BucketCount struct {
+	Bound float64 `json:"bound"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is a histogram's state at Snapshot time.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	// Buckets lists the non-empty buckets in ascending bound order.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+		for i, c := range h.counts {
+			if c > 0 {
+				s.Buckets = append(s.Buckets, BucketCount{Bound: BucketBound(i), Count: c})
+			}
+		}
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// recorder returns a nil (no-op) counter.
+func (r *Recorder) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil recorder
+// returns a nil (no-op) gauge.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// recorder returns a nil (no-op) histogram.
+func (r *Recorder) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Snapshot is the recorder's in-process state at one point in time: the
+// retained spans plus every metric's value. It is the API tests and
+// experiments consume directly, without going through an exporter.
+type Snapshot struct {
+	Spans        []Span                       `json:"-"`
+	DroppedSpans int64                        `json:"dropped_spans"`
+	Counters     map[string]float64           `json:"counters"`
+	Gauges       map[string]float64           `json:"gauges"`
+	Histograms   map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot returns a deep copy of the recorder's current state. A nil
+// recorder returns an empty snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	s.Spans, s.DroppedSpans = r.snapshotSpans()
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// SpanSeconds sums span durations per category.
+func (s Snapshot) SpanSeconds() map[Category]float64 {
+	out := make(map[Category]float64)
+	for _, sp := range s.Spans {
+		out[sp.Cat] += sp.Duration()
+	}
+	return out
+}
+
+// Categories returns the distinct span categories present, sorted.
+func (s Snapshot) Categories() []Category {
+	seen := make(map[Category]bool)
+	for _, sp := range s.Spans {
+		seen[sp.Cat] = true
+	}
+	out := make([]Category, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AlgSeconds sums collective span durations per "op/algorithm" key across
+// all ranks — the span-level counterpart of the cluster's AlgSeconds
+// attribution, used by the reconciliation check.
+func (s Snapshot) AlgSeconds() map[string]float64 {
+	out := make(map[string]float64)
+	for _, sp := range s.Spans {
+		if sp.Cat != CatCollective || sp.Attrs.Algorithm == "" {
+			continue
+		}
+		out[sp.Name+"/"+sp.Attrs.Algorithm] += sp.Duration()
+	}
+	return out
+}
+
+// SpansFor returns the spans of one category, in record order.
+func (s Snapshot) SpansFor(cat Category) []Span {
+	var out []Span
+	for _, sp := range s.Spans {
+		if sp.Cat == cat {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ReconcileAlgSeconds asserts that two per-"op/algorithm" attributions
+// agree within the relative tolerance (e.g. 0.01 for 1%). Keys whose
+// larger side is below eps seconds are ignored (both attributions agree
+// the time is negligible). It returns nil when everything reconciles.
+func ReconcileAlgSeconds(spanSums, clusterSums map[string]float64, tol float64) error {
+	const eps = 1e-12
+	keys := make(map[string]bool)
+	for k := range spanSums {
+		keys[k] = true
+	}
+	for k := range clusterSums {
+		keys[k] = true
+	}
+	for k := range keys {
+		a, b := spanSums[k], clusterSums[k]
+		ref := math.Max(math.Abs(a), math.Abs(b))
+		if ref < eps {
+			continue
+		}
+		if math.Abs(a-b) > tol*ref {
+			return fmt.Errorf("obs: %s does not reconcile: span-sum %.6es vs cluster %.6es (tol %.2g%%)",
+				k, a, b, tol*100)
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ import (
 	"compso/internal/kfac"
 	"compso/internal/modelzoo"
 	"compso/internal/nn"
+	"compso/internal/obs"
 	"compso/internal/opt"
 	"compso/internal/xrand"
 )
@@ -71,6 +72,10 @@ type Config struct {
 	EvalEvery int
 	// EvalSize is the validation batch size (default 512).
 	EvalSize int
+	// Obs receives simulated-time spans and metrics for this run (see
+	// package obs). Nil disables instrumentation at zero cost; enabling it
+	// never changes simulated results, only observes them.
+	Obs *obs.Recorder
 }
 
 // Result is the training log collected on rank 0.
@@ -90,6 +95,10 @@ type Result struct {
 	AlgSeconds map[string]float64
 	// Model is rank 0's trained replica, usable for post-hoc evaluation.
 	Model *nn.Sequential
+	// Metrics is the observability snapshot taken when Config.Obs was set
+	// (nil otherwise): spans, counters, gauges and histograms over the
+	// simulated timeline.
+	Metrics *obs.Snapshot
 }
 
 func (c *Config) withDefaults() Config {
@@ -120,6 +129,7 @@ func Run(c Config) (*Result, error) {
 		return nil, fmt.Errorf("train: incomplete config %+v", cfg)
 	}
 	cl := cluster.New(cfg.Platform, cfg.Workers)
+	cl.Observe(cfg.Obs)
 	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
 	var mu sync.Mutex
 	var firstErr error
@@ -150,6 +160,10 @@ func Run(c Config) (*Result, error) {
 	for k, v := range cluster.MergeAlgStats(workers) {
 		result.AlgSeconds[k] = v / float64(cfg.Workers)
 	}
+	if cfg.Obs != nil {
+		snap := cfg.Obs.Snapshot()
+		result.Metrics = &snap
+	}
 	return result, nil
 }
 
@@ -172,11 +186,14 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 	}
 
 	evalGen := func() *rand.Rand { return xrand.NewSeeded(cfg.Seed*77 + 13) }
+	tel := newTele(w)
 
 	for it := 0; it < cfg.Iters; it++ {
+		tel.beginStep(it)
 		if cfg.Controller != nil {
 			if cc, ok := comp.(*compress.COMPSO); ok {
 				cfg.Controller.Apply(it, cc)
+				tel.controller(cfg.Controller, it)
 			}
 		}
 		x, y := task.Data.Sample(dataRng, task.Batch)
@@ -187,14 +204,15 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 		lr := cfg.Schedule.LR(it)
 		if cfg.UseKFAC {
-			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, crSum, crCount, mu); err != nil {
+			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, crSum, crCount, mu); err != nil {
 				return err
 			}
 		} else {
-			if err := sgdIteration(w, task, sgd, comp, lr, crSum, crCount, mu); err != nil {
+			if err := sgdIteration(w, task, sgd, comp, lr, tel, crSum, crCount, mu); err != nil {
 				return err
 			}
 		}
+		tel.endStep(it)
 
 		if w.Rank() == 0 && ((it+1)%cfg.EvalEvery == 0 || it == cfg.Iters-1) {
 			ex, ey := task.Data.Sample(evalGen(), cfg.EvalSize)
@@ -248,7 +266,9 @@ func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 // sgdIteration is the first-order path: (optionally compressed) gradient
 // exchange, then a momentum step.
 func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
-	comp compress.Compressor, lr float64, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, lr float64, tel *tele, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	phase := tel.beginPhase("grad-sync")
+	defer tel.endPhase(phase)
 	if comp == nil {
 		allReduceGrads(w, task.Model, "grad-allreduce")
 	} else {
@@ -266,6 +286,8 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 		if err != nil {
 			return err
 		}
+		tel.compress(len(flat), len(blob), "grad-allgather")
+		tel.filterStats(comp)
 		recordCR(len(flat), len(blob), crSum, crCount, mu)
 		parts := w.AllGather(blob, "grad-allgather")
 		sum := make([]float64, len(flat))
@@ -274,6 +296,7 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 			if err != nil {
 				return err
 			}
+			tel.decompress(len(vals), len(part), "grad-allgather")
 			if len(vals) != len(sum) {
 				return fmt.Errorf("train: gathered gradient has %d values, want %d", len(vals), len(sum))
 			}
@@ -296,16 +319,19 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 
 // kfacIteration is the distributed K-FAC path of Figure 2.
 func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
-	comp compress.Compressor, it int, lr float64, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, it int, lr float64, tel *tele, crSum *float64, crCount *int, mu *sync.Mutex) error {
 	// Step 0: standard data-parallel gradient average.
+	phase := tel.beginPhase("grad-sync")
 	allReduceGrads(w, task.Model, "grad-allreduce")
+	tel.endPhase(phase)
 
 	// Steps 1–2: covariance computation + factor all-reduce (amortized).
 	if it%cfg.StatFreq == 0 {
+		phase = tel.beginPhase("factor-sync")
 		k.AccumulateStats(task.Batch)
 		cov := k.PendingCovariances()
 		if cfg.CompressFactors {
-			if err := compressedFactorExchange(w, cfg, cov); err != nil {
+			if err := compressedFactorExchange(w, cfg, tel, cov); err != nil {
 				return err
 			}
 		} else {
@@ -314,20 +340,25 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 		if err := k.CommitCovariances(cov, w.Size()); err != nil {
 			return err
 		}
+		tel.endPhase(phase)
 	}
 
 	// Step 3: eigendecomposition of owned layers.
 	owned := ownedLayers(k.NumLayers(), w.Size(), w.Rank())
 	if k.NeedsEigen() {
+		phase = tel.beginPhase("eigendecomp")
 		for _, li := range owned {
 			if err := k.RefreshEigen(li); err != nil {
 				return err
 			}
+			tel.eigen(k, li)
 		}
+		tel.endPhase(phase)
 	}
 
 	// Steps 4–5: precondition owned layers, compress per aggregation
 	// group, all-gather, decompress everything.
+	phase = tel.beginPhase("precond-exchange")
 	groups := compso.Groups(len(owned), cfg.AggregationM)
 	payload := make([]byte, 0, 1024)
 	for _, g := range groups {
@@ -337,6 +368,7 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 			if err != nil {
 				return err
 			}
+			tel.precondition(k, owned[oi])
 			grads = append(grads, vals)
 		}
 		flat := compso.Concat(grads)
@@ -347,6 +379,8 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 			if err != nil {
 				return err
 			}
+			tel.compress(len(flat), len(blob), "kfac-allgather")
+			tel.filterStats(comp)
 			recordCR(len(flat), len(blob), crSum, crCount, mu)
 		} else {
 			blob = f32ToBytes(flat)
@@ -376,6 +410,7 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 				if err != nil {
 					return err
 				}
+				tel.decompress(len(flat), len(blob), "kfac-allgather")
 			} else {
 				flat = bytesToF32(blob)
 			}
@@ -394,6 +429,7 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 			}
 		}
 	}
+	tel.endPhase(phase)
 	return k.ApplyUpdate(lr)
 }
 
@@ -402,7 +438,7 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 // float32 factor contribution, gathers everyone's buffers, and sums the
 // decompressed replicas back into cov. Every worker decodes identical
 // bytes, so the replicas stay consistent.
-func compressedFactorExchange(w *cluster.Worker, cfg Config, cov []float64) error {
+func compressedFactorExchange(w *cluster.Worker, cfg Config, tel *tele, cov []float64) error {
 	comp := compress.NewCOMPSO(991 + int64(w.Rank()))
 	comp.FilterEnabled = true
 	comp.EBFilter = cfg.FactorEB
@@ -415,6 +451,7 @@ func compressedFactorExchange(w *cluster.Worker, cfg Config, cov []float64) erro
 	if err != nil {
 		return fmt.Errorf("train: factor compression: %w", err)
 	}
+	tel.compress(len(local), len(blob), "kfac-allreduce")
 	parts := w.AllGather(blob, "kfac-allreduce")
 	for i := range cov {
 		cov[i] = 0
@@ -424,6 +461,7 @@ func compressedFactorExchange(w *cluster.Worker, cfg Config, cov []float64) erro
 		if err != nil {
 			return fmt.Errorf("train: factor decompression from rank %d: %w", rank, err)
 		}
+		tel.decompress(len(vals), len(part), "kfac-allreduce")
 		if len(vals) != len(cov) {
 			return fmt.Errorf("train: factor buffer from rank %d has %d values, want %d", rank, len(vals), len(cov))
 		}

@@ -1,0 +1,111 @@
+package compso
+
+import (
+	"compso/internal/compress"
+	"compso/internal/obs"
+)
+
+// Observer records simulated-time spans and metrics (see NewObserver). A
+// nil Observer disables instrumentation at zero cost.
+type Observer = obs.Recorder
+
+// ObserverOption configures an Observer.
+type ObserverOption = obs.Option
+
+// Snapshot is an Observer's state at a point in time: spans plus counter,
+// gauge and histogram values.
+type Snapshot = obs.Snapshot
+
+// NewObserver returns an observability recorder to pass to TrainConfig.Obs
+// (or compso.New via WithObserver). Options: WithMaxSpans bounds span
+// retention; WithTransferSpans adds per-transfer link-occupancy spans.
+func NewObserver(opts ...ObserverOption) *Observer { return obs.NewRecorder(opts...) }
+
+// WithMaxSpans bounds how many spans an Observer retains (default 262144);
+// further spans are counted as dropped.
+func WithMaxSpans(n int) ObserverOption { return obs.WithMaxSpans(n) }
+
+// WithTransferSpans enables per-transfer link-occupancy spans in the
+// collective engine's stepped simulations (off by default: they are the
+// highest-volume span source).
+func WithTransferSpans(enabled bool) ObserverOption { return obs.WithTransferSpans(enabled) }
+
+// Option configures a COMPSO compressor built by New.
+type Option func(*compressorConfig)
+
+// compressorConfig accumulates New's options before construction.
+type compressorConfig struct {
+	seed        int64
+	errorBound  float64
+	filterBound float64
+	filterSet   bool
+	codec       Codec
+	observer    *Observer
+}
+
+// WithSeed sets the deterministic stochastic-rounding stream. Distributed
+// workers should derive distinct seeds per rank (e.g. seed*1000+rank) so
+// their rounding decisions decorrelate.
+func WithSeed(seed int64) Option {
+	return func(c *compressorConfig) { c.seed = seed }
+}
+
+// WithErrorBound sets the stochastic-rounding quantizer bound eb_q
+// (default 4e-3, the paper's aggressive setting).
+func WithErrorBound(eb float64) Option {
+	return func(c *compressorConfig) { c.errorBound = eb }
+}
+
+// WithFilterBound sets the filter bound eb_f and enables the filter;
+// passing 0 disables the filter (the conservative SR-only strategy).
+func WithFilterBound(eb float64) Option {
+	return func(c *compressorConfig) {
+		c.filterBound = eb
+		c.filterSet = true
+	}
+}
+
+// WithCodec selects the lossless back-end encoder (default ANS; see
+// Codecs and CodecByName for the Table 2 set).
+func WithCodec(codec Codec) Option {
+	return func(c *compressorConfig) { c.codec = codec }
+}
+
+// WithObserver attaches an observability recorder: each Compress call
+// feeds the observer's "compress/ratio" and "compress/filter_hit_rate"
+// histograms and "compress/calls" counter. For full simulated-time spans,
+// pass the same observer to TrainConfig.Obs.
+func WithObserver(o *Observer) Option {
+	return func(c *compressorConfig) { c.observer = o }
+}
+
+// New builds a COMPSO compressor from functional options. With no options
+// it matches NewCompressor(0): filter+SR at the paper's default bounds
+// (eb_f = eb_q = 4e-3) with the ANS back-end and a deterministic
+// stochastic-rounding stream.
+//
+// New is the primary constructor; the positional NewCompressor remains as
+// a thin wrapper for existing callers.
+func New(opts ...Option) *COMPSO {
+	cfg := compressorConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	comp := compress.NewCOMPSO(cfg.seed)
+	if cfg.errorBound > 0 {
+		comp.EBQuant = cfg.errorBound
+	}
+	if cfg.filterSet {
+		if cfg.filterBound > 0 {
+			comp.EBFilter = cfg.filterBound
+			comp.FilterEnabled = true
+		} else {
+			comp.FilterEnabled = false
+		}
+	}
+	if cfg.codec != nil {
+		comp.Codec = cfg.codec
+	}
+	comp.Obs = cfg.observer
+	return comp
+}
