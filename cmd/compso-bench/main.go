@@ -19,6 +19,17 @@
 // flat metrics dump, after self-checking that the collective span sums
 // reconcile with the run's AlgSeconds attribution. -validate FILE checks an
 // existing trace against the Chrome trace-event schema and exits.
+//
+// Fault injection: "compso-bench chaos" runs the fault-injection matrix —
+// the same instrumented job under a clean fabric, a persistent straggler,
+// degraded inter-node links, payload corruption, and all combined — and
+// reports the recovery tallies (retries, lossless fallbacks, autotuner
+// retunes) per scenario:
+//
+//	compso-bench chaos                  # default CI-sized budget
+//	compso-bench chaos -iters 30        # bigger budget
+//	compso-bench chaos -trace t.json    # also write the combined trace
+//	compso-bench chaos -json rows.json  # machine-readable rows
 package main
 
 import (
@@ -33,6 +44,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		chaosMain(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, comm, ablation")
 	iters := flag.Int("iters", 0, "training iteration budget for convergence experiments (0 = paper-scale default)")
 	measure := flag.Bool("measure", false, "fig8: also measure real Go implementation throughput")
@@ -218,6 +233,40 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s (%d experiments)\n", *jsonPath, len(collected))
+	}
+}
+
+// chaosMain is the "compso-bench chaos" subcommand: run the fault-injection
+// matrix and report per-scenario recovery tallies.
+func chaosMain(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	iters := fs.Int("iters", 0, "training iteration budget per scenario (0 = small CI default)")
+	jsonPath := fs.String("json", "", "write machine-readable scenario rows to this file")
+	tracePath := fs.String("trace", "", "write the combined scenario's Chrome trace to this file")
+	_ = fs.Parse(args)
+
+	rows, tb, err := experiments.ChaosMatrix(*iters, *tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tb)
+	fmt.Println("span sums reconcile with AlgSeconds within 1% in every scenario")
+	if *tracePath != "" {
+		fmt.Printf("wrote combined-scenario Chrome trace to %s\n", *tracePath)
+	}
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{"chaos": rows}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"compso/internal/compress"
 	internalcompso "compso/internal/compso"
 	"compso/internal/encoding"
+	"compso/internal/fault"
 	"compso/internal/kfac"
 	"compso/internal/modelzoo"
 	"compso/internal/nn"
@@ -174,6 +175,60 @@ func DefaultKFAC() KFACConfig { return kfac.DefaultConfig() }
 // Train runs a distributed (simulated) training job and returns rank 0's
 // log.
 func Train(cfg TrainConfig) (*TrainResult, error) { return train.Run(cfg) }
+
+// FaultPlan declares a deterministic fault scenario for a training run:
+// straggler compute slowdowns, degraded/flaky links, and in-flight payload
+// corruption. Pass it via WithFaults (or TrainConfig.Fault directly); the
+// same seed and plan always reproduce the same run bit-for-bit.
+type FaultPlan = fault.Plan
+
+// Straggler slows one rank's compute by a multiplicative factor over a
+// step window (persistent when the window is open-ended).
+type Straggler = fault.Straggler
+
+// LinkFault inflates the α/β cost of matching fabric links and optionally
+// adds bounded per-message jitter.
+type LinkFault = fault.LinkFault
+
+// Corruption flips bits in compressed payloads at a per-delivery rate; the
+// training loop recovers via bounded retry then lossless fallback.
+type Corruption = fault.Corruption
+
+// FaultGuard configures the straggler-aware collective guard: when the
+// measured schedule time diverges from the engine's fault-free prediction
+// by more than Ratio for Patience consecutive steps, the autotuner's
+// measured state is reset so algorithm picks re-learn under the degraded
+// fabric.
+type FaultGuard = fault.Guard
+
+// TrainOption mutates a TrainConfig before a TrainWith run.
+type TrainOption func(*TrainConfig)
+
+// WithFaults attaches a fault plan to a training run (see FaultPlan). Nil
+// restores the fault-free fast path.
+func WithFaults(plan *FaultPlan) TrainOption {
+	return func(c *TrainConfig) { c.Fault = plan }
+}
+
+// WithTrainObserver attaches an observability recorder to the run, exactly
+// as setting TrainConfig.Obs.
+func WithTrainObserver(o *Observer) TrainOption {
+	return func(c *TrainConfig) { c.Obs = o }
+}
+
+// TrainWith applies options on top of a base TrainConfig and runs it — the
+// functional-options companion to Train for fault/observability toggles:
+//
+//	res, err := compso.TrainWith(cfg, compso.WithFaults(&compso.FaultPlan{
+//		Seed:       42,
+//		Corruption: compso.Corruption{Rate: 0.02},
+//	}))
+func TrainWith(cfg TrainConfig, opts ...TrainOption) (*TrainResult, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return train.Run(cfg)
+}
 
 // Models returns the paper's four evaluation model profiles.
 func Models() []ModelProfile { return modelzoo.All() }

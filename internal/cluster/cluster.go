@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"compso/internal/collective"
+	"compso/internal/fault"
 	"compso/internal/obs"
 )
 
@@ -20,6 +21,7 @@ type Cluster struct {
 	rv     *rendezvous
 	engine *collective.Engine
 	rec    *obs.Recorder
+	faults *fault.Injector
 
 	pairMu sync.Mutex
 	pairs  map[pairKey]*pairSlot
@@ -54,6 +56,25 @@ func (c *Cluster) Size() int { return c.p }
 // Engine returns the collective engine dispatching this cluster's
 // collectives (for prediction queries and tuner inspection).
 func (c *Cluster) Engine() *collective.Engine { return c.engine }
+
+// InjectFaults installs a fault injector: straggler compute multipliers
+// apply to Worker.Compute charges, and degraded-link perturbations apply
+// to every stepped collective schedule and SendRecv transfer (which is
+// what makes the engine's measurement-refined autotuner re-tune under the
+// degraded topology). Payload corruption is the training loop's concern —
+// the cluster moves bytes verbatim. A nil injector (the default) keeps
+// the fault-free fast path. Call before Run.
+func (c *Cluster) InjectFaults(inj *fault.Injector) {
+	c.faults = inj
+	if inj != nil {
+		c.engine.SetPerturber(inj)
+	} else {
+		c.engine.SetPerturber(nil)
+	}
+}
+
+// Faults returns the installed fault injector (nil when fault-free).
+func (c *Cluster) Faults() *fault.Injector { return c.faults }
 
 // Observe attaches an observability recorder: every collective records a
 // per-rank span covering exactly the simulated time the rank was blocked
@@ -107,6 +128,13 @@ type Worker struct {
 	// spanCtx is the current parent span for spans this worker records
 	// (set by the training loop around steps and phases).
 	spanCtx obs.SpanID
+	// step is the training loop's current iteration (SetStep), which
+	// windows transient fault injection.
+	step int
+	// measSchedule/predSchedule accumulate each executed collective's
+	// makespan and its fault-free cost-model prediction — the divergence
+	// signal the training loop's straggler guard watches.
+	measSchedule, predSchedule float64
 }
 
 // Rank returns the worker's 0-based rank.
@@ -126,6 +154,28 @@ func (w *Worker) SpanContext() obs.SpanID { return w.spanCtx }
 
 // Size returns the world size.
 func (w *Worker) Size() int { return w.cluster.p }
+
+// Engine returns the cluster's collective engine (for prediction queries
+// and the straggler guard's Retune).
+func (w *Worker) Engine() *collective.Engine { return w.cluster.engine }
+
+// Faults returns the cluster's fault injector (nil when fault-free).
+func (w *Worker) Faults() *fault.Injector { return w.cluster.faults }
+
+// SetStep tells the cluster which training iteration the worker is in, so
+// transient faults (straggler windows, corruption windows) can key on it.
+func (w *Worker) SetStep(it int) { w.step = it }
+
+// Step returns the last step set by SetStep.
+func (w *Worker) Step() int { return w.step }
+
+// ScheduleSeconds returns the worker's accumulated executed-collective
+// makespan seconds alongside the fault-free cost-model prediction for the
+// same schedule sequence. Under a healthy fabric the two track each other;
+// sustained divergence is the straggler guard's re-tune trigger.
+func (w *Worker) ScheduleSeconds() (measured, predicted float64) {
+	return w.measSchedule, w.predSchedule
+}
 
 // Time returns the worker's simulated clock in seconds.
 func (w *Worker) Time() float64 { return w.simTime }
@@ -161,9 +211,14 @@ func (w *Worker) DisableTrace() { w.traceIsOff = true }
 
 // Compute advances the simulated clock by the given seconds under the
 // category label (e.g. "forward-backward", "kfac-compute", "compress").
+// An installed fault injector scales the charge by the worker's current
+// straggler factor (1 when unafflicted).
 func (w *Worker) Compute(seconds float64, category string) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("cluster: negative compute time %g", seconds))
+	}
+	if f := w.cluster.faults; f != nil {
+		seconds *= f.ComputeFactor(w.rank, w.step)
 	}
 	w.simTime += seconds
 	w.stats[category] += seconds
@@ -187,6 +242,8 @@ func (w *Worker) note(out *collective.Outcome, tEnd float64, category string) {
 	if out == nil {
 		return
 	}
+	w.measSchedule += out.MaxEnd() - out.Start
+	w.predSchedule += out.Predicted
 	if tEnd > w.simTime {
 		w.algStats[out.Op+"/"+out.Algorithm] += tEnd - w.simTime
 	}
@@ -409,7 +466,7 @@ func (w *Worker) SendRecv(peer int, payload []byte, category string) []byte {
 		if st.t > start {
 			start = st.t
 		}
-		tEnd := start + c.engine.Topology().P2PTime(w.rank, peer, bytes)
+		tEnd := start + c.engine.P2PTime(w.rank, peer, bytes, start)
 		st.reply <- pairReply{payload: payload, tEnd: tEnd}
 		w.noteP2P(peer, bytes, start, tEnd)
 		w.account(tEnd, category)

@@ -29,6 +29,11 @@ type Outcome struct {
 	// Ends holds each rank's simulated completion time. Ranks that finish
 	// their part of the schedule early get earlier times.
 	Ends []float64
+	// Predicted is the fault-free cost-model makespan of the same
+	// algorithm and spec (a dry run from uniform clocks, unaffected by any
+	// link perturber). Comparing it against the executed makespan is how
+	// the training loop's straggler guard detects a degraded fabric.
+	Predicted float64
 	// Events is the full per-step transfer trace.
 	Events []Event
 }
@@ -48,6 +53,19 @@ func (o *Outcome) EventsFor(rank int) []Event {
 // MaxEnd returns the collective's makespan end time.
 func (o *Outcome) MaxEnd() float64 { return maxOf(o.Ends) }
 
+// LinkPerturber perturbs per-transfer link timing — the hook the fault
+// layer plugs degraded links and per-message jitter through. For one
+// transfer it returns multiplicative α and β scale factors plus a realized
+// fractional jitter; the simulator charges
+//
+//	(α·alphaScale + β·bytes·betaScale) · (1 + jitter)
+//
+// Implementations must be deterministic pure functions of their arguments
+// (plus internal configuration) so simulated runs stay reproducible.
+type LinkPerturber interface {
+	PerturbLink(src, dst, srcNode, dstNode int, link LinkClass, bytes int, start float64) (alphaScale, betaScale, jitter float64)
+}
+
 // Engine dispatches collectives to step-level algorithms over a Topology.
 // It is safe for concurrent use; in practice the cluster's rendezvous
 // serializes collective execution.
@@ -55,6 +73,7 @@ type Engine struct {
 	topo   *Topology
 	cost   CostModel
 	policy string
+	pert   LinkPerturber
 
 	mu    sync.Mutex
 	tuner *autotuner
@@ -97,6 +116,60 @@ func NewEngine(topo *Topology, cost CostModel, policy string) (*Engine, error) {
 
 // Topology returns the engine's platform model.
 func (e *Engine) Topology() *Topology { return e.topo }
+
+// SetPerturber installs a link perturber (nil removes it). Install before
+// the engine starts executing collectives; the stepped schedules and
+// P2PTime consult it, while prediction dry runs stay fault-free so the
+// tuner's seeds — and the guard's divergence baseline — describe the
+// healthy fabric.
+func (e *Engine) SetPerturber(p LinkPerturber) {
+	e.mu.Lock()
+	e.pert = p
+	e.mu.Unlock()
+}
+
+// perturber returns the installed link perturber (nil when none).
+func (e *Engine) perturber() LinkPerturber {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pert
+}
+
+// Retune discards the autotuner's measured state so subsequent picks
+// re-seed from cost-model dry runs and re-learn from fresh measurements —
+// the recovery action of the training loop's straggler guard after the
+// fabric's behaviour shifts (EWMAs learned under old conditions would
+// otherwise keep steering picks).
+func (e *Engine) Retune() {
+	e.mu.Lock()
+	e.tuner.measured = make(map[tuneKey]*ewma)
+	e.mu.Unlock()
+}
+
+// P2PTime returns the α–β cost of one point-to-point message between two
+// ranks at the given start time, applying the installed link perturber
+// (topology cost when none). It is the engine-aware replacement for
+// Topology.P2PTime on live transfer paths.
+func (e *Engine) P2PTime(src, dst, bytes int, start float64) float64 {
+	t := e.topo
+	if src == dst {
+		return 0
+	}
+	var alpha, beta float64
+	link := LinkInter
+	if t.SameNode(src, dst) {
+		link = LinkIntra
+		alpha, beta = t.IntraAlpha, t.IntraBeta
+	} else {
+		alpha, beta = t.InterAlpha, t.InterBeta
+	}
+	dur := alpha + beta*float64(bytes)
+	if p := e.perturber(); p != nil {
+		as, bs, j := p.PerturbLink(src, dst, t.Node(src), t.Node(dst), link, bytes, start)
+		dur = (alpha*as + beta*float64(bytes)*bs) * (1 + j)
+	}
+	return dur
+}
 
 // Algorithms returns the step-level algorithm menu for an op (the analytic
 // fallback is policy-only and not listed).
@@ -207,7 +280,8 @@ func (e *Engine) dispatch(sp spec, starts []float64) *Outcome {
 	}
 	alg := e.pick(sp)
 	if alg == AlgAnalytic {
-		t := start + e.analyticTime(sp)
+		ana := e.analyticTime(sp)
+		t := start + ana
 		ends := make([]float64, e.topo.P)
 		for i := range ends {
 			ends[i] = t
@@ -218,14 +292,17 @@ func (e *Engine) dispatch(sp spec, starts []float64) *Outcome {
 		}
 		return &Outcome{
 			Op: sp.op, Algorithm: AlgAnalytic, Bytes: sp.total(), Start: start, Ends: ends,
+			Predicted: ana,
 			Events: []Event{{Op: sp.op, Algorithm: AlgAnalytic, Src: -1, Dst: -1,
 				Link: link, Bytes: sp.total(), Start: start, End: t}},
 		}
 	}
 	s := newSim(e.topo, sp.op, alg, starts)
+	s.pert = e.perturber()
 	e.scheduleFor(alg, sp)(s)
 	out := &Outcome{Op: sp.op, Algorithm: alg, Bytes: sp.total(), Start: start, Ends: s.clock, Events: s.events}
 	e.mu.Lock()
+	out.Predicted = e.predictSeed(alg, sp)
 	e.tuner.record(sp.op, alg, sp.total(), out.MaxEnd()-start)
 	e.mu.Unlock()
 	return out

@@ -26,6 +26,10 @@ type sim struct {
 	op, alg string
 	step    int
 	events  []Event
+	// pert optionally perturbs per-transfer link timing (fault injection);
+	// nil charges the clean topology cost. Prediction dry runs leave it
+	// nil so the cost model keeps describing the healthy fabric.
+	pert LinkPerturber
 }
 
 // newSim starts a collective at the given per-rank arrival times, charging
@@ -70,13 +74,13 @@ func (s *sim) runStep(ts []Transfer) {
 		if s.topo.SameNode(tr.Src, tr.Dst) {
 			link = LinkIntra
 			start = max3(ready, s.egress[tr.Src], s.ingress[tr.Dst])
-			end = start + s.topo.IntraAlpha + s.topo.IntraBeta*float64(tr.Bytes)
+			end = start + s.linkTime(tr, link, start, s.topo.IntraAlpha, s.topo.IntraBeta)
 			s.egress[tr.Src], s.ingress[tr.Dst] = end, end
 		} else {
 			link = LinkInter
 			sn, dn := s.topo.Node(tr.Src), s.topo.Node(tr.Dst)
 			start = max3(ready, s.nicOut[sn], s.nicIn[dn])
-			end = start + s.topo.InterAlpha + s.topo.InterBeta*float64(tr.Bytes)
+			end = start + s.linkTime(tr, link, start, s.topo.InterAlpha, s.topo.InterBeta)
 			s.nicOut[sn], s.nicIn[dn] = end, end
 		}
 		if end > s.clock[tr.Src] {
@@ -92,6 +96,16 @@ func (s *sim) runStep(ts []Transfer) {
 		})
 	}
 	s.step++
+}
+
+// linkTime returns one transfer's duration over a link, applying the
+// optional fault perturber to the clean α–β charge.
+func (s *sim) linkTime(tr Transfer, link LinkClass, start, alpha, beta float64) float64 {
+	if s.pert == nil {
+		return alpha + beta*float64(tr.Bytes)
+	}
+	as, bs, j := s.pert.PerturbLink(tr.Src, tr.Dst, s.topo.Node(tr.Src), s.topo.Node(tr.Dst), link, tr.Bytes, start)
+	return (alpha*as + beta*float64(tr.Bytes)*bs) * (1 + j)
 }
 
 // runRounds executes a sequence of steps.

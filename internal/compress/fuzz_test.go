@@ -1,6 +1,9 @@
 package compress
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
 // Decompressor fuzzing: arbitrary bytes must never panic — only return
 // values or an error.
@@ -41,7 +44,22 @@ func FuzzCocktailDecompress(f *testing.F) {
 }
 
 func FuzzChunkedDecompress(f *testing.F) {
-	fuzzDecompress(f, func() Compressor {
+	mk := func() Compressor {
 		return &Chunked{New: func(seed int64) Compressor { return NewQSGD(8, seed) }, ChunkSize: 64}
-	})
+	}
+	// Corpus entries for the decode-path regressions: a valid frame with
+	// trailing garbage, and a size-table entry whose int cast used to
+	// overflow negative and panic the slicing below.
+	c := mk()
+	valid, err := c.Compress(kfacData(130, 4))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append(append([]byte(nil), valid...), 0xbe, 0xef))
+	huge := binary.AppendUvarint(nil, 64) // total
+	huge = binary.AppendUvarint(huge, 64) // chunk size
+	huge = binary.AppendUvarint(huge, 1)  // nChunks
+	huge = binary.AppendUvarint(huge, 1<<63)
+	f.Add(append(huge, 0xde, 0xad))
+	fuzzDecompress(f, mk)
 }

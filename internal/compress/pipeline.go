@@ -40,6 +40,12 @@ func (t *TorchQSGD) Name() string { return fmt.Sprintf("QSGD-%dbit (torch)", t.B
 // Compress implements Compressor. Each stage materializes its result, as a
 // framework dispatching one kernel per tensor op would.
 func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
+	// Bits parameterizes a shift below: an out-of-range width silently
+	// produced a garbage quantization grid instead of failing. 2..32 bits
+	// spans the representable signed level ranges.
+	if t.Bits < 2 || t.Bits > 32 {
+		return nil, fmt.Errorf("compress: TorchQSGD bit width %d out of range [2,32]", t.Bits)
+	}
 	// Kernel 1: abs.
 	absV := make([]float64, len(src))
 	for i, v := range src {
@@ -52,7 +58,7 @@ func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
 			maxAbs = v
 		}
 	}
-	maxLevel := float64(int32(1)<<(t.Bits-1) - 1)
+	maxLevel := float64(int64(1)<<(t.Bits-1) - 1)
 	scale := 0.0
 	if maxAbs > 0 {
 		scale = maxAbs / maxLevel
@@ -170,6 +176,7 @@ func (c *Chunked) Compress(src []float32) ([]byte, error) {
 		}
 	}
 	out := binary.AppendUvarint(nil, uint64(len(src)))
+	out = binary.AppendUvarint(out, uint64(c.ChunkSize))
 	out = binary.AppendUvarint(out, uint64(nChunks))
 	for _, p := range parts {
 		out = binary.AppendUvarint(out, uint64(len(p)))
@@ -180,36 +187,74 @@ func (c *Chunked) Compress(src []float32) ([]byte, error) {
 	return out, nil
 }
 
-// Decompress implements Compressor.
+// Decompress implements Compressor. The header self-describes the chunk
+// geometry (total, chunk size, chunk count) and every field is checked
+// against the decompressor's own configuration and the real invariant
+// nChunks == ceil(total/ChunkSize) — a corrupted or truncated buffer must
+// fail loudly, never mis-slice or over-allocate.
 func (c *Chunked) Decompress(data []byte) ([]float32, error) {
+	if c.ChunkSize <= 0 {
+		return nil, fmt.Errorf("compress: Chunked chunk size %d", c.ChunkSize)
+	}
 	total, used := binary.Uvarint(data)
 	if used <= 0 || total > 1<<31 {
 		return nil, fmt.Errorf("%w: Chunked: bad total", ErrCorrupt)
 	}
 	data = data[used:]
+	chunkSize, used := binary.Uvarint(data)
+	if used <= 0 || chunkSize != uint64(c.ChunkSize) {
+		return nil, fmt.Errorf("%w: Chunked: header chunk size %d, configured %d", ErrCorrupt, chunkSize, c.ChunkSize)
+	}
+	data = data[used:]
 	nChunks, used := binary.Uvarint(data)
-	if used <= 0 || nChunks > total+1 {
+	if used <= 0 {
 		return nil, fmt.Errorf("%w: Chunked: bad chunk count", ErrCorrupt)
+	}
+	// The chunk count is fully determined by the header: ceil(total/
+	// ChunkSize), with the empty input carried as one empty chunk. The old
+	// nChunks <= total+1 bound admitted wildly inconsistent headers.
+	want := (total + chunkSize - 1) / chunkSize
+	if want == 0 {
+		want = 1
+	}
+	if nChunks != want {
+		return nil, fmt.Errorf("%w: Chunked: %d chunks for %d values of chunk size %d, want %d",
+			ErrCorrupt, nChunks, total, chunkSize, want)
 	}
 	data = data[used:]
 	sizes := make([]int, nChunks)
 	for i := range sizes {
 		s, used := binary.Uvarint(data)
-		if used <= 0 {
-			return nil, fmt.Errorf("%w: Chunked: truncated size table", ErrCorrupt)
+		// Bound each entry in uint64 space before the int cast: a huge
+		// varint would overflow int and slip past signed comparisons.
+		if used <= 0 || s > uint64(len(data)) {
+			return nil, fmt.Errorf("%w: Chunked: bad size table entry %d", ErrCorrupt, i)
 		}
 		data = data[used:]
 		sizes[i] = int(s)
 	}
 	parts := make([][]byte, nChunks)
+	payloadBytes := uint64(0)
 	for i, s := range sizes {
 		if s > len(data) {
 			return nil, fmt.Errorf("%w: Chunked: chunk %d overruns", ErrCorrupt, i)
 		}
 		parts[i] = data[:s]
 		data = data[s:]
+		payloadBytes += uint64(s)
 	}
-	out := make([]float32, 0, total)
+	// Every byte of the buffer must be spoken for: trailing garbage after
+	// the last chunk means the frame is not what the header claims.
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: Chunked: %d trailing bytes", ErrCorrupt, len(data))
+	}
+	// Cap the allocation hint by what the payload could plausibly decode
+	// to; the final length check below still enforces the exact total.
+	hint := total
+	if bound := (payloadBytes + 1) * 64; hint > bound {
+		hint = bound
+	}
+	out := make([]float32, 0, hint)
 	results := make([][]float32, nChunks)
 	errs := make([]error, nChunks)
 	var wg sync.WaitGroup

@@ -1,0 +1,201 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newChunked(chunkSize, workers int) *Chunked {
+	return &Chunked{
+		New:       func(seed int64) Compressor { return NewQSGD(8, seed) },
+		ChunkSize: chunkSize,
+		Workers:   workers,
+		Seed:      77,
+	}
+}
+
+// TestChunkedRejectsTrailingGarbage pins the frame-consumption invariant:
+// a valid blob with bytes appended after the last chunk must fail, not
+// silently decode the prefix.
+func TestChunkedRejectsTrailingGarbage(t *testing.T) {
+	c := newChunked(64, 2)
+	blob, err := c.Compress(kfacData(200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, extra := range [][]byte{{0}, {1, 2, 3, 4}} {
+		bad := append(append([]byte(nil), blob...), extra...)
+		if _, err := c.Decompress(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("trailing %d bytes: got err %v, want ErrCorrupt", len(extra), err)
+		}
+	}
+}
+
+// TestChunkedRejectsBadChunkCount pins the header invariant nChunks ==
+// ceil(total/ChunkSize). The old code only required nChunks <= total+1, so
+// a header claiming 200 values in 3 chunks of size 64 (want 4) decoded as
+// long as the chunks happened to sum right — an inconsistent frame.
+func TestChunkedRejectsBadChunkCount(t *testing.T) {
+	c := newChunked(64, 2)
+	// Build a frame claiming 3 chunks of size 64 for 200 values.
+	inner := NewQSGD(8, 77)
+	var parts [][]byte
+	for i := 0; i < 3; i++ {
+		p, err := inner.Compress(kfacData(64, int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, p)
+	}
+	blob := binary.AppendUvarint(nil, 200) // total
+	blob = binary.AppendUvarint(blob, 64)  // chunk size
+	blob = binary.AppendUvarint(blob, 3)   // nChunks: want ceil(200/64)=4
+	for _, p := range parts {
+		blob = binary.AppendUvarint(blob, uint64(len(p)))
+	}
+	for _, p := range parts {
+		blob = append(blob, p...)
+	}
+	if _, err := c.Decompress(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("inconsistent chunk count: got err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestChunkedRejectsHugeSizeEntry pins the size-table overflow fix: a
+// varint size near 2^64 used to be cast straight to int, overflowing
+// negative and panicking (or worse) in the slicing below. It must instead
+// return ErrCorrupt.
+func TestChunkedRejectsHugeSizeEntry(t *testing.T) {
+	c := newChunked(64, 1)
+	blob := binary.AppendUvarint(nil, 64) // total
+	blob = binary.AppendUvarint(blob, 64) // chunk size
+	blob = binary.AppendUvarint(blob, 1)  // nChunks
+	blob = binary.AppendUvarint(blob, 1<<63)
+	blob = append(blob, 0xde, 0xad)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Decompress panicked: %v", r)
+		}
+	}()
+	if _, err := c.Decompress(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge size entry: got err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestChunkedRejectsForeignChunkSize pins the self-describing header: a
+// frame produced with one chunk geometry must not decode under another,
+// since per-chunk seeds and boundaries would silently mismatch.
+func TestChunkedRejectsForeignChunkSize(t *testing.T) {
+	blob, err := newChunked(64, 1).Compress(kfacData(200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newChunked(128, 1).Decompress(blob); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign chunk size: got err %v, want ErrCorrupt", err)
+	}
+}
+
+// TestChunkedBoundarySizes checks Chunked against the inner compressor's
+// own round trip at the chunking edge cases: empty, below one chunk, an
+// exact multiple, and one element past a boundary.
+func TestChunkedBoundarySizes(t *testing.T) {
+	const cs = 64
+	for _, n := range []int{0, 1, cs - 1, cs, cs + 1, 3 * cs, 3*cs + 1} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			c := newChunked(cs, 3)
+			src := kfacData(n, int64(n)+5)
+			blob, err := c.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != n {
+				t.Fatalf("decoded %d values, want %d", len(got), n)
+			}
+			// Equivalence: each chunk must match the inner compressor run
+			// standalone with the same per-chunk seed.
+			for lo := 0; lo < n; lo += cs {
+				hi := min(lo+cs, n)
+				inner := NewQSGD(8, c.Seed+int64(lo/cs))
+				ib, err := inner.Compress(src[lo:hi])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := NewQSGD(8, c.Seed+int64(lo/cs)).Decompress(ib)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range want {
+					if got[lo+i] != want[i] {
+						t.Fatalf("value %d: chunked %v, inner %v", lo+i, got[lo+i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChunkedParallelDeterminism runs the same compression with Workers>1
+// repeatedly (under -race in CI) and requires bit-identical output: chunk
+// scheduling must never leak into the blob.
+func TestChunkedParallelDeterminism(t *testing.T) {
+	src := kfacData(10_000, 9)
+	c := newChunked(257, 8)
+	ref, err := c.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, err := c.Decompress(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 8; trial++ {
+		blob, err := newChunked(257, 8).Compress(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(blob) != string(ref) {
+			t.Fatalf("trial %d: blob differs from reference", trial)
+		}
+		out, err := newChunked(257, 8).Decompress(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range refOut {
+			if out[i] != refOut[i] {
+				t.Fatalf("trial %d: value %d differs", trial, i)
+			}
+		}
+	}
+}
+
+// TestTorchQSGDBitsValidation pins the bit-width guard at both edges and
+// checks the extremes of the valid range still round-trip.
+func TestTorchQSGDBitsValidation(t *testing.T) {
+	src := kfacData(128, 3)
+	for _, bits := range []int{-1, 0, 1, 33, 64} {
+		c := NewTorchQSGD(bits, 1)
+		if _, err := c.Compress(src); err == nil {
+			t.Fatalf("Bits=%d: Compress accepted an invalid width", bits)
+		}
+	}
+	for _, bits := range []int{2, 32} {
+		c := NewTorchQSGD(bits, 1)
+		blob, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("Bits=%d: %v", bits, err)
+		}
+		out, err := c.Decompress(blob)
+		if err != nil {
+			t.Fatalf("Bits=%d: decompress: %v", bits, err)
+		}
+		if len(out) != len(src) {
+			t.Fatalf("Bits=%d: got %d values, want %d", bits, len(out), len(src))
+		}
+	}
+}

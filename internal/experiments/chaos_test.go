@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"compso/internal/obs"
+)
+
+// TestChaosMatrix runs the fault matrix at a tiny budget and checks the
+// shape of its report: a clean baseline, fault scenarios that tally
+// recovery events, and a schema-valid combined trace.
+func TestChaosMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos matrix trains 5 scenarios; skipped in -short")
+	}
+	tracePath := filepath.Join(t.TempDir(), "chaos-trace.json")
+	rows, tb, err := ChaosMatrix(4, tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d scenarios, want 5", len(rows))
+	}
+	byName := map[string]ChaosRow{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	base := byName["baseline"]
+	if base.Corrupted+base.Retries+base.Fallbacks+base.Retunes != 0 {
+		t.Fatalf("baseline tallied fault events: %+v", base)
+	}
+	if byName["corruption"].Corrupted == 0 {
+		t.Fatalf("corruption scenario saw no corrupted blobs: %+v", byName["corruption"])
+	}
+	comb := byName["combined"]
+	if comb.Corrupted == 0 {
+		t.Fatalf("combined scenario saw no corrupted blobs: %+v", comb)
+	}
+	if comb.CommSec <= base.CommSec {
+		t.Fatalf("combined faults did not slow communication: %g vs baseline %g", comb.CommSec, base.CommSec)
+	}
+	if tb == nil || len(tb.Rows) != 5 {
+		t.Fatal("table rendering missing rows")
+	}
+	blob, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(blob); err != nil {
+		t.Fatalf("combined trace invalid: %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package fault
+
+import (
+	"bytes"
+	"testing"
+
+	"compso/internal/collective"
+)
+
+func TestNilPlanAndInjector(t *testing.T) {
+	inj, err := NewInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatal("nil plan must yield a nil injector")
+	}
+	// The nil injector must be inert on every entry point.
+	if f := inj.ComputeFactor(0, 0); f != 1 {
+		t.Fatalf("nil ComputeFactor = %g", f)
+	}
+	a, b, j := inj.PerturbLink(0, 1, 0, 0, collective.LinkIntra, 100, 0)
+	if a != 1 || b != 1 || j != 0 {
+		t.Fatalf("nil PerturbLink = %g,%g,%g", a, b, j)
+	}
+	if inj.ShouldCorrupt(0, 0, 0) {
+		t.Fatal("nil injector corrupted")
+	}
+	blob := []byte{1, 2, 3}
+	out, hit := inj.CorruptBlob(blob, 0, 0, 0)
+	if hit || &out[0] != &blob[0] {
+		t.Fatal("nil injector touched the blob")
+	}
+	var p *Plan
+	if p.Enabled() || p.Retries() != 0 {
+		t.Fatal("nil plan must be disabled with zero retries")
+	}
+	// A plan that injects nothing compiles to the nil (disabled) injector.
+	if inj, err := NewInjector(&Plan{Seed: 9, Guard: Guard{Ratio: 2}}); err != nil || inj != nil {
+		t.Fatalf("do-nothing plan: inj=%v err=%v, want nil,nil", inj, err)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	bad := []Plan{
+		{Stragglers: []Straggler{{Rank: -1, Factor: 2}}},
+		{Stragglers: []Straggler{{Rank: 0, Factor: 0.5}}},
+		{Stragglers: []Straggler{{Rank: 0, Factor: 2, FromStep: 5, ToStep: 5}}},
+		{Links: []LinkFault{{AlphaFactor: -1}}},
+		{Links: []LinkFault{{Jitter: -0.1}}},
+		{Links: []LinkFault{{Link: "warp"}}},
+		{Corruption: Corruption{Rate: 1.5}},
+		{Corruption: Corruption{Rate: 0.1, BitFlips: -1}},
+		{MaxRetries: -1},
+		{Guard: Guard{Ratio: -1}},
+		{Guard: Guard{Patience: -1}},
+	}
+	for i, p := range bad {
+		if _, err := NewInjector(&p); err == nil {
+			t.Errorf("plan %d: invalid plan accepted: %+v", i, p)
+		}
+	}
+	good := Plan{
+		Seed:       7,
+		Stragglers: []Straggler{{Rank: 1, Factor: 2, FromStep: 0, ToStep: 10}},
+		Links:      []LinkFault{{SrcNode: -1, DstNode: -1, Link: "inter", AlphaFactor: 2}},
+		Corruption: Corruption{Rate: 0.5},
+		Guard:      Guard{Ratio: 1.5, Patience: 2},
+	}
+	if _, err := NewInjector(&good); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if !good.Enabled() || good.Retries() != 2 {
+		t.Fatal("good plan should be enabled with default retries")
+	}
+	if (Guard{}).PatienceOrDefault() != 3 {
+		t.Fatal("default guard patience should be 3")
+	}
+}
+
+func TestStragglerWindows(t *testing.T) {
+	inj, err := NewInjector(&Plan{Stragglers: []Straggler{
+		{Rank: 2, Factor: 2, FromStep: 3, ToStep: 6},
+		{Rank: 2, Factor: 3, FromStep: 5}, // persistent, overlaps at 5
+		{Rank: 0, Factor: 4},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		rank, step int
+		want       float64
+	}{
+		{2, 0, 1}, {2, 2, 1}, {2, 3, 2}, {2, 4, 2},
+		{2, 5, 6}, // both active: 2 * 3
+		{2, 6, 3}, {2, 1000, 3},
+		{0, 0, 4}, {0, 99, 4},
+		{1, 5, 1},
+	}
+	for _, c := range cases {
+		if got := inj.ComputeFactor(c.rank, c.step); got != c.want {
+			t.Errorf("ComputeFactor(%d,%d) = %g, want %g", c.rank, c.step, got, c.want)
+		}
+	}
+}
+
+func TestLinkFaultMatching(t *testing.T) {
+	inj, err := NewInjector(&Plan{Seed: 3, Links: []LinkFault{
+		{SrcNode: -1, DstNode: -1, Link: "inter", AlphaFactor: 3, BetaFactor: 2},
+		{SrcNode: 0, DstNode: 0, Link: "intra", AlphaFactor: 1.5},
+		{SrcNode: -1, DstNode: -1, Link: "inter", Jitter: 0.25},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inter-node edge: first and third faults match (scales 3,2; jitter cap 0.25).
+	a, b, j := inj.PerturbLink(0, 4, 0, 1, collective.LinkInter, 1024, 0.5)
+	if a != 3 || b != 2 {
+		t.Fatalf("inter scales = %g,%g, want 3,2", a, b)
+	}
+	if j < 0 || j >= 0.25 {
+		t.Fatalf("inter jitter %g outside [0,0.25)", j)
+	}
+	// Intra-node edge on node 0: only the second fault matches; Jitter 0.
+	a, b, j = inj.PerturbLink(0, 1, 0, 0, collective.LinkIntra, 1024, 0.5)
+	if a != 1.5 || b != 1 || j != 0 {
+		t.Fatalf("intra(0) = %g,%g,%g, want 1.5,1,0", a, b, j)
+	}
+	// Intra-node edge on node 1: nothing matches.
+	a, b, j = inj.PerturbLink(4, 5, 1, 1, collective.LinkIntra, 1024, 0.5)
+	if a != 1 || b != 1 || j != 0 {
+		t.Fatalf("intra(1) = %g,%g,%g, want identity", a, b, j)
+	}
+}
+
+// TestDeterminism pins the core contract: every decision is a pure function
+// of (seed, site), identical across injector instances, and sensitive to
+// the seed.
+func TestDeterminism(t *testing.T) {
+	plan := Plan{
+		Seed:       11,
+		Links:      []LinkFault{{SrcNode: -1, DstNode: -1, Jitter: 0.5}},
+		Corruption: Corruption{Rate: 0.5, BitFlips: 4},
+	}
+	a, _ := NewInjector(&plan)
+	b, _ := NewInjector(&plan)
+	other := plan
+	other.Seed = 12
+	c, _ := NewInjector(&other)
+
+	blob := []byte("the quick brown fox jumps over the lazy dog")
+	seedDiffers := false
+	for step := 0; step < 50; step++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			va, ha := a.CorruptBlob(blob, step, 1, attempt)
+			vb, hb := b.CorruptBlob(blob, step, 1, attempt)
+			if ha != hb || !bytes.Equal(va, vb) {
+				t.Fatalf("step %d attempt %d: corruption differs between identical injectors", step, attempt)
+			}
+			if ha {
+				if bytes.Equal(va, blob) {
+					t.Fatalf("step %d: corrupted blob equals original", step)
+				}
+				// The original must never be mutated in place.
+				if string(blob) != "the quick brown fox jumps over the lazy dog" {
+					t.Fatal("CorruptBlob mutated its input")
+				}
+			}
+			vc, hc := c.CorruptBlob(blob, step, 1, attempt)
+			if ha != hc || !bytes.Equal(va, vc) {
+				seedDiffers = true
+			}
+		}
+		ja1, jb1 := drawJitter(a, step), drawJitter(b, step)
+		if ja1 != jb1 {
+			t.Fatalf("step %d: jitter differs between identical injectors", step)
+		}
+	}
+	if !seedDiffers {
+		t.Fatal("changing the seed never changed a corruption decision")
+	}
+}
+
+func drawJitter(inj *Injector, step int) float64 {
+	_, _, j := inj.PerturbLink(0, 1, 0, 1, collective.LinkInter, 4096+step, float64(step))
+	return j
+}
+
+// TestCorruptionRate checks the empirical hit rate over many sites tracks
+// the configured probability, and that the step window gates it.
+func TestCorruptionRate(t *testing.T) {
+	inj, _ := NewInjector(&Plan{Seed: 5, Corruption: Corruption{Rate: 0.3, FromStep: 10, ToStep: 1000}})
+	hits := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		if inj.ShouldCorrupt(10+i%990, i/990, i%3) {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("empirical corruption rate %.3f, want ~0.30", got)
+	}
+	if inj.ShouldCorrupt(9, 0, 0) {
+		t.Fatal("corruption before FromStep")
+	}
+	for s := 1000; s < 1100; s++ {
+		if inj.ShouldCorrupt(s, 0, 0) {
+			t.Fatal("corruption at/after ToStep")
+		}
+	}
+}
+
+// TestCorruptBlobFlipCount verifies a corrupted copy differs in at most
+// BitFlips bit positions (fewer when two flips collide) and at least one.
+func TestCorruptBlobFlipCount(t *testing.T) {
+	inj, _ := NewInjector(&Plan{Seed: 1, Corruption: Corruption{Rate: 1, BitFlips: 4}})
+	blob := make([]byte, 97)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	out, hit := inj.CorruptBlob(blob, 3, 2, 0)
+	if !hit {
+		t.Fatal("rate-1 corruption missed")
+	}
+	diff := 0
+	for i := range blob {
+		x := blob[i] ^ out[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff < 1 || diff > 4 {
+		t.Fatalf("%d bits differ, want 1..4", diff)
+	}
+	// Empty blobs pass through untouched even at rate 1.
+	if _, hit := inj.CorruptBlob(nil, 3, 2, 0); hit {
+		t.Fatal("empty blob corrupted")
+	}
+}

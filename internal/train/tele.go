@@ -31,6 +31,9 @@ type tele struct {
 	pipe gpusim.Pipeline
 	cm   modelzoo.ComputeModel
 	step obs.SpanID
+	// faults tallies logical fault events on rank 0 (lazily allocated;
+	// nil on fault-free runs), surfaced as Result.FaultEvents.
+	faults map[string]int64
 }
 
 func newTele(w *cluster.Worker) *tele {

@@ -17,6 +17,7 @@ import (
 	"compso/internal/cluster"
 	"compso/internal/compress"
 	"compso/internal/compso"
+	"compso/internal/fault"
 	"compso/internal/kfac"
 	"compso/internal/modelzoo"
 	"compso/internal/nn"
@@ -76,6 +77,12 @@ type Config struct {
 	// package obs). Nil disables instrumentation at zero cost; enabling it
 	// never changes simulated results, only observes them.
 	Obs *obs.Recorder
+	// Fault declares a deterministic fault scenario (see package fault):
+	// straggler compute slowdowns, degraded/flaky links, and in-flight
+	// payload corruption with bounded-retry + lossless-fallback recovery.
+	// Nil (the default) runs the fault-free fast path bit-identically to
+	// a config without the field.
+	Fault *fault.Plan
 }
 
 // Result is the training log collected on rank 0.
@@ -99,6 +106,11 @@ type Result struct {
 	// (nil otherwise): spans, counters, gauges and histograms over the
 	// simulated timeline.
 	Metrics *obs.Snapshot
+	// FaultEvents tallies the fault-recovery events of the run (keys
+	// "corrupted", "retries", "fallbacks", "retunes"); nil when
+	// Config.Fault was nil. The same tallies appear as "fault/..."
+	// counters in Metrics when observability is on.
+	FaultEvents map[string]int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -128,8 +140,13 @@ func Run(c Config) (*Result, error) {
 	if cfg.Workers <= 0 || cfg.Iters <= 0 || cfg.BuildTask == nil || cfg.Schedule == nil {
 		return nil, fmt.Errorf("train: incomplete config %+v", cfg)
 	}
+	inj, err := fault.NewInjector(cfg.Fault)
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
 	cl := cluster.New(cfg.Platform, cfg.Workers)
 	cl.Observe(cfg.Obs)
+	cl.InjectFaults(inj)
 	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
 	var mu sync.Mutex
 	var firstErr error
@@ -187,8 +204,10 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 	evalGen := func() *rand.Rand { return xrand.NewSeeded(cfg.Seed*77 + 13) }
 	tel := newTele(w)
+	fc := newFaultCtx(w, cfg, tel)
 
 	for it := 0; it < cfg.Iters; it++ {
+		w.SetStep(it)
 		tel.beginStep(it)
 		if cfg.Controller != nil {
 			if cc, ok := comp.(*compress.COMPSO); ok {
@@ -204,15 +223,16 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 		lr := cfg.Schedule.LR(it)
 		if cfg.UseKFAC {
-			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, crSum, crCount, mu); err != nil {
+			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, fc, crSum, crCount, mu); err != nil {
 				return err
 			}
 		} else {
-			if err := sgdIteration(w, task, sgd, comp, lr, tel, crSum, crCount, mu); err != nil {
+			if err := sgdIteration(w, task, sgd, comp, it, lr, tel, fc, crSum, crCount, mu); err != nil {
 				return err
 			}
 		}
 		tel.endStep(it)
+		fc.guardStep(it)
 
 		if w.Rank() == 0 && ((it+1)%cfg.EvalEvery == 0 || it == cfg.Iters-1) {
 			ex, ey := task.Data.Sample(evalGen(), cfg.EvalSize)
@@ -236,6 +256,14 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 	if w.Rank() == 0 {
 		mu.Lock()
 		result.Model = task.Model
+		if cfg.Fault != nil {
+			result.FaultEvents = map[string]int64{
+				"corrupted": 0, "retries": 0, "fallbacks": 0, "retunes": 0,
+			}
+			for k, v := range tel.faults {
+				result.FaultEvents[k] = v
+			}
+		}
 		mu.Unlock()
 	}
 	return nil
@@ -266,7 +294,7 @@ func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 // sgdIteration is the first-order path: (optionally compressed) gradient
 // exchange, then a momentum step.
 func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
-	comp compress.Compressor, lr float64, tel *tele, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, crSum *float64, crCount *int, mu *sync.Mutex) error {
 	phase := tel.beginPhase("grad-sync")
 	defer tel.endPhase(phase)
 	if comp == nil {
@@ -291,14 +319,10 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 		recordCR(len(flat), len(blob), crSum, crCount, mu)
 		parts := w.AllGather(blob, "grad-allgather")
 		sum := make([]float64, len(flat))
-		for _, part := range parts {
-			vals, err := comp.Decompress(part)
+		for rank, part := range parts {
+			vals, err := decodeGathered(fc, w, tel, comp, it, rank, part, blob, flat, len(flat), "grad-allgather")
 			if err != nil {
-				return err
-			}
-			tel.decompress(len(vals), len(part), "grad-allgather")
-			if len(vals) != len(sum) {
-				return fmt.Errorf("train: gathered gradient has %d values, want %d", len(vals), len(sum))
+				return fmt.Errorf("train: gathered gradient from rank %d: %w", rank, err)
 			}
 			for i, v := range vals {
 				sum[i] += float64(v)
@@ -319,7 +343,7 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 
 // kfacIteration is the distributed K-FAC path of Figure 2.
 func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
-	comp compress.Compressor, it int, lr float64, tel *tele, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, crSum *float64, crCount *int, mu *sync.Mutex) error {
 	// Step 0: standard data-parallel gradient average.
 	phase := tel.beginPhase("grad-sync")
 	allReduceGrads(w, task.Model, "grad-allreduce")
@@ -361,6 +385,13 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 	phase = tel.beginPhase("precond-exchange")
 	groups := compso.Groups(len(owned), cfg.AggregationM)
 	payload := make([]byte, 0, 1024)
+	// rawPayload mirrors payload with lossless FP32 frames; it is the
+	// sender-side material for the fault path's last-resort re-broadcast
+	// and is only built when faults are enabled.
+	var rawPayload []byte
+	if fc != nil {
+		rawPayload = make([]byte, 0, 1024)
+	}
 	for _, g := range groups {
 		grads := make([][]float32, 0, len(g))
 		for _, oi := range g {
@@ -387,50 +418,88 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 		}
 		payload = binary.AppendUvarint(payload, uint64(len(blob)))
 		payload = append(payload, blob...)
+		if fc != nil {
+			raw := f32ToBytes(flat)
+			rawPayload = binary.AppendUvarint(rawPayload, uint64(len(raw)))
+			rawPayload = append(rawPayload, raw...)
+		}
 	}
 	parts := w.AllGather(payload, "kfac-allgather")
 
-	// Install every worker's decompressed preconditioned gradients.
+	// Install every worker's decompressed preconditioned gradients, with
+	// the fault path's corrupt → retry → lossless-fallback ladder per
+	// sender frame.
+	st := &kfacState{k: k}
 	for rank, part := range parts {
-		rOwned := ownedLayers(k.NumLayers(), w.Size(), rank)
-		rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
-		pos := 0
-		for _, g := range rGroups {
-			blobLen, used := binary.Uvarint(part[pos:])
-			if used <= 0 || pos+used+int(blobLen) > len(part) {
-				return fmt.Errorf("train: corrupt all-gather payload from rank %d", rank)
-			}
-			pos += used
-			blob := part[pos : pos+int(blobLen)]
-			pos += int(blobLen)
-			var flat []float32
-			if comp != nil {
-				var err error
-				flat, err = comp.Decompress(blob)
-				if err != nil {
-					return err
-				}
-				tel.decompress(len(flat), len(blob), "kfac-allgather")
-			} else {
-				flat = bytesToF32(blob)
-			}
-			lengths := make([]int, len(g))
-			for i, oi := range g {
-				lengths[i] = k.LayerGradSize(rOwned[oi])
-			}
-			split, err := compso.Split(flat, lengths)
-			if err != nil {
-				return err
-			}
-			for i, oi := range g {
-				if err := k.SetPreconditioned(rOwned[oi], split[i]); err != nil {
-					return err
-				}
-			}
+		if err := installPart(fc, w, cfg, tel, st, comp, it, rank, part, payload, rawPayload); err != nil {
+			return err
 		}
 	}
 	tel.endPhase(phase)
 	return k.ApplyUpdate(lr)
+}
+
+// kfacState wraps the optimizer for frame-by-frame installation of gathered
+// preconditioned gradients.
+type kfacState struct {
+	k *kfac.KFAC
+}
+
+// parsePart decodes one sender's uvarint-framed all-gather payload and
+// installs its preconditioned gradients. lossless selects raw-FP32 frame
+// decoding (comp is ignored and may be nil). All structural failures wrap
+// compress.ErrCorrupt so the caller's recovery ladder can distinguish
+// payload damage from programming errors.
+func (st *kfacState) parsePart(w *cluster.Worker, cfg Config, tel *tele,
+	comp compress.Compressor, sender int, part []byte, lossless bool) error {
+	k := st.k
+	rOwned := ownedLayers(k.NumLayers(), w.Size(), sender)
+	rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
+	pos := 0
+	for _, g := range rGroups {
+		blobLen, used := binary.Uvarint(part[pos:])
+		// Bound the frame length in uint64 space before the int cast: a
+		// corrupted varint can encode values whose int conversion
+		// overflows negative and sails past a signed comparison.
+		if used <= 0 || blobLen > uint64(len(part)-pos-used) {
+			return fmt.Errorf("%w: train: corrupt all-gather payload from rank %d", compress.ErrCorrupt, sender)
+		}
+		pos += used
+		blob := part[pos : pos+int(blobLen)]
+		pos += int(blobLen)
+		var flat []float32
+		if !lossless && comp != nil {
+			var err error
+			flat, err = comp.Decompress(blob)
+			if err != nil {
+				return err
+			}
+			tel.decompress(len(flat), len(blob), "kfac-allgather")
+		} else {
+			if len(blob)%4 != 0 {
+				return fmt.Errorf("%w: train: raw frame from rank %d has %d bytes", compress.ErrCorrupt, sender, len(blob))
+			}
+			flat = bytesToF32(blob)
+		}
+		lengths := make([]int, len(g))
+		for i, oi := range g {
+			lengths[i] = k.LayerGradSize(rOwned[oi])
+		}
+		split, err := compso.Split(flat, lengths)
+		if err != nil {
+			return fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+		}
+		for i, oi := range g {
+			if err := k.SetPreconditioned(rOwned[oi], split[i]); err != nil {
+				return err
+			}
+		}
+	}
+	if pos != len(part) {
+		return fmt.Errorf("%w: train: %d trailing bytes in all-gather payload from rank %d",
+			compress.ErrCorrupt, len(part)-pos, sender)
+	}
+	return nil
 }
 
 // compressedFactorExchange replaces the factor all-reduce with a
