@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"compso"
+	"compso/internal/compress"
 	"compso/internal/experiments"
 	"compso/internal/xrand"
 )
@@ -125,6 +126,23 @@ func BenchmarkCompressCocktail(b *testing.B) {
 	benchCompressor(b, compso.NewCocktailSGD(0.2, 8, 4))
 }
 
+// BenchmarkCompressCOMPSOReference measures the preserved multi-pass COMPSO
+// pipeline (the pre-fusion implementation in internal/compress/reference.go)
+// on the same input as BenchmarkCompressCOMPSO — the before/after pair the
+// perf harness commits to BENCH_PR5.json.
+func BenchmarkCompressCOMPSOReference(b *testing.B) {
+	c := compress.NewCOMPSO(1)
+	src := benchGradient()
+	b.SetBytes(int64(4 * len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReferenceCompress(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkDecompressCOMPSO(b *testing.B) {
 	c := compso.NewCompressor(5)
 	src := benchGradient()
@@ -137,6 +155,26 @@ func BenchmarkDecompressCOMPSO(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Decompress(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompressCOMPSOReference is the multi-pass decode half of the
+// before/after pair (plane join, dequantize and filter-restore each through
+// their own materialized buffer).
+func BenchmarkDecompressCOMPSOReference(b *testing.B) {
+	c := compress.NewCOMPSO(5)
+	src := benchGradient()
+	blob, err := c.Compress(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReferenceDecompress(blob); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -30,6 +30,16 @@
 //	compso-bench chaos -iters 30        # bigger budget
 //	compso-bench chaos -trace t.json    # also write the combined trace
 //	compso-bench chaos -json rows.json  # machine-readable rows
+//
+// Performance: "compso-bench perf" runs the fused-vs-reference benchmark
+// harness — wall-clock and allocation measurements of the single-pass
+// compression kernels against the preserved multi-pass reference pipelines,
+// per back-end codec and per pipeline stage — and writes a machine-readable
+// report (schema compso/bench-perf/v1):
+//
+//	compso-bench perf                   # full run, writes BENCH_PR5.json
+//	compso-bench perf -quick -out p.json # CI-sized smoke run
+//	compso-bench perf -validate p.json  # schema-check an existing report
 package main
 
 import (
@@ -46,6 +56,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		perfMain(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, comm, ablation")

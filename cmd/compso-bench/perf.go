@@ -1,0 +1,53 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compso/internal/experiments"
+)
+
+// perfMain implements "compso-bench perf": run the fused-vs-reference
+// benchmark-trajectory harness and emit the machine-readable report.
+func perfMain(args []string) {
+	fs := flag.NewFlagSet("perf", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller input and measurement budget (CI smoke)")
+	out := fs.String("out", "BENCH_PR5.json", "write the JSON report here (empty = stdout table only)")
+	validatePath := fs.String("validate", "", "validate an existing bench-perf JSON file and exit")
+	fs.Parse(args)
+
+	if *validatePath != "" {
+		blob, err := os.ReadFile(*validatePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf validate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidatePerf(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "perf validate: %s: %v\n", *validatePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid bench-perf report\n", *validatePath)
+		return
+	}
+
+	rep, err := experiments.RunPerf(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+	if *out == "" {
+		return
+	}
+	blob, err := rep.MarshalIndent()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -26,6 +26,21 @@ func NewWriter(sizeHint int) *Writer {
 	return &Writer{buf: make([]byte, 0, sizeHint)}
 }
 
+// ResetBuf resets the Writer to an empty stream backed by buf's storage
+// (length is ignored). It lets callers run a stack-allocated Writer over a
+// pooled buffer, keeping hot encode paths allocation-free.
+func (w *Writer) ResetBuf(buf []byte) {
+	w.buf = buf[:0]
+	w.cur = 0
+	w.nCur = 0
+}
+
+// Buf returns the Writer's current backing buffer (which append may have
+// grown beyond the ResetBuf argument) without flushing the partial byte.
+// Use it to return the storage to a pool after the stream's Bytes() have
+// been copied out.
+func (w *Writer) Buf() []byte { return w.buf }
+
 // WriteBits appends the low width bits of v (width in 0..64).
 // It panics if width is out of range.
 func (w *Writer) WriteBits(v uint64, width uint) {

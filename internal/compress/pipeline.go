@@ -5,9 +5,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"runtime"
-	"sync"
 
+	"compso/internal/pool"
 	"compso/internal/quant"
 	"compso/internal/xrand"
 )
@@ -37,8 +36,11 @@ func NewTorchQSGD(bitWidth int, seed int64) *TorchQSGD {
 // Name implements Compressor.
 func (t *TorchQSGD) Name() string { return fmt.Sprintf("QSGD-%dbit (torch)", t.Bits) }
 
-// Compress implements Compressor. Each stage materializes its result, as a
-// framework dispatching one kernel per tensor op would.
+// Compress implements Compressor. Each stage still materializes its result
+// in its own full-length buffer — the kernel-per-op dispatch pattern under
+// measurement must keep its memory traffic — but the buffers now come from
+// the arena, mirroring how a framework's caching allocator serves each
+// kernel's temporary without hitting the system allocator.
 func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
 	// Bits parameterizes a shift below: an out-of-range width silently
 	// produced a garbage quantization grid instead of failing. 2..32 bits
@@ -46,8 +48,9 @@ func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
 	if t.Bits < 2 || t.Bits > 32 {
 		return nil, fmt.Errorf("compress: TorchQSGD bit width %d out of range [2,32]", t.Bits)
 	}
+	n := len(src)
 	// Kernel 1: abs.
-	absV := make([]float64, len(src))
+	absV := pool.F64(n)
 	for i, v := range src {
 		absV[i] = math.Abs(float64(v))
 	}
@@ -58,20 +61,23 @@ func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
 			maxAbs = v
 		}
 	}
+	pool.PutF64(absV)
 	maxLevel := float64(int64(1)<<(t.Bits-1) - 1)
 	scale := 0.0
 	if maxAbs > 0 {
 		scale = maxAbs / maxLevel
 	}
 	// Kernel 3: divide.
-	scaled := make([]float64, len(src))
+	scaled := pool.F64(n)
 	if scale > 0 {
 		for i, v := range src {
 			scaled[i] = float64(v) / scale
 		}
+	} else {
+		clear(scaled)
 	}
 	// Kernel 4: stochastic round.
-	rounded := make([]float64, len(src))
+	rounded := pool.F64(n)
 	for i, x := range scaled {
 		fl := math.Floor(x)
 		if t.rng.Float64() < x-fl {
@@ -80,21 +86,33 @@ func (t *TorchQSGD) Compress(src []float32) ([]byte, error) {
 			rounded[i] = fl
 		}
 	}
+	pool.PutF64(scaled)
 	// Kernel 5: clamp.
-	clamped := make([]float64, len(src))
+	clamped := pool.F64(n)
 	for i, x := range rounded {
 		clamped[i] = math.Max(-maxLevel, math.Min(maxLevel, x))
 	}
-	// Kernel 6: cast to levels.
-	levels := make([]int32, len(src))
+	pool.PutF64(rounded)
+	// Kernel 6: cast to levels (zig-zagged, the packer's symbol domain).
+	zigs := pool.U32(n)
+	var maxZig uint32
 	for i, x := range clamped {
-		levels[i] = int32(x)
+		z := quant.ZigZag(int32(x))
+		zigs[i] = z
+		if z > maxZig {
+			maxZig = z
+		}
 	}
+	pool.PutF64(clamped)
 	// Kernel 7: pack/encode (host-side in frameworks).
-	out := putHeader(nil, magicQSGD, len(src))
+	packed := quant.PackZigs(pool.Bytes(n*t.Bits/8+16), zigs, maxZig)
+	pool.PutU32(zigs)
+	out := make([]byte, 0, binary.MaxVarintLen64+9+len(packed))
+	out = putHeader(out, magicQSGD, n)
 	out = putFloat64(out, scale)
-	packed := quant.PackCodes(levels)
-	return append(out, packed...), nil
+	out = append(out, packed...)
+	pool.PutBytes(packed)
+	return out, nil
 }
 
 // Decompress implements Compressor.
@@ -141,7 +159,7 @@ func (c *Chunked) workers() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
-	return runtime.GOMAXPROCS(0)
+	return pool.Workers()
 }
 
 // Compress implements Compressor.
@@ -153,23 +171,17 @@ func (c *Chunked) Compress(src []float32) ([]byte, error) {
 	if nChunks == 0 {
 		nChunks = 1
 	}
+	// Chunks fan out over the process-wide bounded worker pool instead of
+	// one goroutine per chunk; results are index-addressed, so the schedule
+	// cannot affect the output bytes.
 	parts := make([][]byte, nChunks)
 	errs := make([]error, nChunks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers())
-	for i := 0; i < nChunks; i++ {
+	pool.ParallelFor(nChunks, c.workers(), func(i int) {
 		lo := i * c.ChunkSize
 		hi := min(lo+c.ChunkSize, len(src))
-		wg.Add(1)
-		go func(i int, block []float32) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			comp := c.New(c.Seed + int64(i))
-			parts[i], errs[i] = comp.Compress(block)
-		}(i, src[lo:hi])
-	}
-	wg.Wait()
+		comp := c.New(c.Seed + int64(i))
+		parts[i], errs[i] = comp.Compress(src[lo:hi])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -257,19 +269,10 @@ func (c *Chunked) Decompress(data []byte) ([]float32, error) {
 	out := make([]float32, 0, hint)
 	results := make([][]float32, nChunks)
 	errs := make([]error, nChunks)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.workers())
-	for i := range parts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			comp := c.New(c.Seed + int64(i))
-			results[i], errs[i] = comp.Decompress(parts[i])
-		}(i)
-	}
-	wg.Wait()
+	pool.ParallelFor(int(nChunks), c.workers(), func(i int) {
+		comp := c.New(c.Seed + int64(i))
+		results[i], errs[i] = comp.Decompress(parts[i])
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"compso/internal/encoding"
+	"compso/internal/pool"
 	"compso/internal/quant"
 )
 
@@ -28,7 +29,11 @@ func NewSZ(relEB float64) *SZ { return &SZ{RelErrorBound: relEB} }
 // Name implements Compressor.
 func (s *SZ) Name() string { return fmt.Sprintf("SZ-%.0E", s.RelErrorBound) }
 
-// Compress implements Compressor.
+// Compress implements Compressor. Fused single-pass rewrite: after the
+// unavoidable range scan (the bound is range-relative), one kernel runs
+// Lorenzo prediction + RN quantization + zig-zag into a pooled code vector,
+// and the byte planes reuse one pooled buffer each, Huffman-appended into
+// pooled scratch — byte-identical to the multi-pass ReferenceCompress.
 func (s *SZ) Compress(src []float32) ([]byte, error) {
 	if s.RelErrorBound <= 0 {
 		return nil, fmt.Errorf("compress: SZ error bound %g <= 0", s.RelErrorBound)
@@ -47,33 +52,62 @@ func (s *SZ) Compress(src []float32) ([]byte, error) {
 	if ebAbs == 0 {
 		ebAbs = s.RelErrorBound // constant input: any tiny bound works
 	}
-	out := putHeader(nil, magicSZ, len(src))
-	out = putFloat64(out, ebAbs)
+	n := len(src)
 
 	// Lorenzo prediction against the *reconstructed* previous value keeps
-	// the decoder in lockstep and the error bound tight per element.
-	codes := make([]int32, len(src))
+	// the decoder in lockstep and the error bound tight per element; the
+	// fused loop emits zig-zagged codes directly and tracks their maximum.
+	zigs := pool.U32(n)
+	var maxZig uint32
 	prev := 0.0
 	bin := 2 * ebAbs
 	for i, v := range src {
 		residual := float64(v) - prev
 		c := int32(math.Round(residual / bin))
-		codes[i] = c
 		prev += float64(c) * bin
+		z := quant.ZigZag(c)
+		zigs[i] = z
+		if z > maxZig {
+			maxZig = z
+		}
 	}
 	// Byte-plane layout keeps the Huffman symbols byte-aligned (cuSZ's
 	// codebook likewise works on byte-sized quant codes).
-	planes := quant.PlaneSplit(codes)
-	out = append(out, byte(len(planes)))
-	for _, plane := range planes {
-		enc := encoding.Huffman{}.Encode(plane)
-		out = putHeader(out, 0xBB, len(enc))
-		out = append(out, enc...)
+	nPlanes := quant.PlaneCount(maxZig)
+	scratch := pool.Bytes(n/2 + 64)[:0]
+	plane := pool.Bytes(n)
+	var ends [4]int
+	for p := 0; p < nPlanes; p++ {
+		quant.FillPlane(plane, zigs, p)
+		scratch = encoding.Huffman{}.EncodeAppend(scratch, plane)
+		ends[p] = len(scratch)
 	}
+	pool.PutBytes(plane)
+	pool.PutU32(zigs)
+
+	size := uvarintLen(uint64(n)) + 10 + len(scratch)
+	prevEnd := 0
+	for p := 0; p < nPlanes; p++ {
+		size += 1 + uvarintLen(uint64(ends[p]-prevEnd))
+		prevEnd = ends[p]
+	}
+	out := make([]byte, 0, size)
+	out = putHeader(out, magicSZ, n)
+	out = putFloat64(out, ebAbs)
+	out = append(out, byte(nPlanes))
+	prevEnd = 0
+	for p := 0; p < nPlanes; p++ {
+		out = putHeader(out, 0xBB, ends[p]-prevEnd)
+		out = append(out, scratch[prevEnd:ends[p]]...)
+		prevEnd = ends[p]
+	}
+	pool.PutBytes(scratch)
 	return out, nil
 }
 
-// Decompress implements Compressor.
+// Decompress implements Compressor. Planes decode into pooled scratch and
+// one fused loop joins them, undoes the zig-zag and integrates the Lorenzo
+// prediction directly into the output.
 func (s *SZ) Decompress(data []byte) ([]float32, error) {
 	n, rest, err := getHeader(data, magicSZ, "SZ")
 	if err != nil {
@@ -91,8 +125,14 @@ func (s *SZ) Decompress(data []byte) ([]float32, error) {
 	if nPlanes > 4 {
 		return nil, fmt.Errorf("%w: SZ: %d planes", ErrCorrupt, nPlanes)
 	}
-	planes := make([][]byte, nPlanes)
-	for p := range planes {
+	var scratches [][]byte
+	defer func() {
+		for _, b := range scratches {
+			pool.PutBytes(b)
+		}
+	}()
+	var planes [4][]byte
+	for p := 0; p < nPlanes; p++ {
 		planeLen, after, err := getHeader(rest, 0xBB, "SZ plane")
 		if err != nil {
 			return nil, err
@@ -100,21 +140,26 @@ func (s *SZ) Decompress(data []byte) ([]float32, error) {
 		if planeLen > len(after) {
 			return nil, fmt.Errorf("%w: SZ: plane %d overruns", ErrCorrupt, p)
 		}
-		planes[p], err = encoding.Huffman{}.Decode(after[:planeLen])
+		buf := pool.Bytes(n)
+		scratches = append(scratches, buf)
+		planes[p], err = encoding.Huffman{}.DecodeInto(buf, after[:planeLen])
 		if err != nil {
 			return nil, fmt.Errorf("%w: SZ plane %d: %v", ErrCorrupt, p, err)
 		}
+		if len(planes[p]) != n {
+			return nil, fmt.Errorf("%w: SZ: plane %d has %d bytes, want %d", ErrCorrupt, p, len(planes[p]), n)
+		}
 		rest = after[planeLen:]
-	}
-	codes, err := quant.PlaneJoin(planes, n)
-	if err != nil {
-		return nil, fmt.Errorf("%w: SZ: %v", ErrCorrupt, err)
 	}
 	out := make([]float32, n)
 	prev := 0.0
 	bin := 2 * ebAbs
-	for i, c := range codes {
-		prev += float64(c) * bin
+	for i := 0; i < n; i++ {
+		var z uint32
+		for p := 0; p < nPlanes; p++ {
+			z |= uint32(planes[p][i]) << (8 * p)
+		}
+		prev += float64(quant.UnZigZag(z)) * bin
 		out[i] = float32(prev)
 	}
 	return out, nil

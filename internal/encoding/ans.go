@@ -1,5 +1,11 @@
 package encoding
 
+import (
+	"math/bits"
+
+	"compso/internal/pool"
+)
+
 // rANS (range asymmetric numeral system) entropy coder, the stand-in for
 // nvCOMP's ANS codec. Order-0 byte model with a 12-bit normalized frequency
 // table, 32-bit state and byte-wise renormalization — the construction of
@@ -22,8 +28,16 @@ type ANS struct{}
 func (ANS) Name() string { return "ANS" }
 
 // Encode implements Codec.
-func (ANS) Encode(src []byte) []byte {
-	out := putUvarint(nil, uint64(len(src)))
+func (a ANS) Encode(src []byte) []byte {
+	return a.EncodeAppend(make([]byte, 0, len(src)/2+24), src)
+}
+
+// EncodeAppend implements AppendEncoder. The reversed body scratch comes
+// from the buffer arena and the reversal itself is a single in-place
+// slices.Reverse plus a bulk append, so steady-state encodes touch the
+// allocator only when dst must grow.
+func (ANS) EncodeAppend(dst, src []byte) []byte {
+	out := putUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
 		return out
 	}
@@ -52,33 +66,55 @@ func (ANS) Encode(src []byte) []byte {
 		}
 	}
 
-	// rANS encodes in reverse so the decoder emits in forward order.
-	body := make([]byte, 0, len(src)/2+16)
+	// Per-symbol reciprocals so the hot loop's x/f and x%f become one
+	// widening multiply: m = 2^44/f + 1 gives exact floor division for all
+	// f <= ansProbScale and x < 2^31 (Granlund-Montgomery; the states here
+	// stay below xMax <= 2^19 * f <= 2^31), which TestANSReciprocalExact
+	// verifies exhaustively.
+	var rcp [256]uint64
+	for s, f := range freq {
+		if f > 0 {
+			rcp[s] = (1<<44)/uint64(f) + 1
+		}
+	}
+
+	// rANS encodes in reverse so the decoder emits in forward order. Body
+	// bytes are written back-to-front into a pooled buffer sized for the
+	// worst case (each symbol flushes at most 2 bytes: the state stays below
+	// 2^31 and renormalizes down past 2^15 < xMax), so they land already in
+	// stream order with no per-byte append or reversal pass.
+	body := pool.Bytes(2*len(src) + 8)
+	idx := len(body)
 	x := uint32(ansLowBound)
 	for i := len(src) - 1; i >= 0; i-- {
 		s := src[i]
 		f := freq[s]
 		// Renormalize: flush low bytes while the state is too large to
-		// absorb the symbol.
-		xMax := ((ansLowBound >> ansProbBits) << 8) * f
+		// absorb the symbol (xMax = ((ansLowBound>>ansProbBits)<<8) * f).
+		xMax := f << 19
 		for x >= xMax {
-			body = append(body, byte(x))
+			idx--
+			body[idx] = byte(x)
 			x >>= 8
 		}
-		x = (x/f)<<ansProbBits + (x % f) + cum[s]
+		hi, lo := bits.Mul64(uint64(x), rcp[s])
+		q := uint32(hi<<20 | lo>>44) // x / f
+		x = q<<ansProbBits + (x - q*f) + cum[s]
 	}
 	// Final state, little-endian.
 	out = append(out, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
-	// Body bytes were pushed in reverse stream order; append them reversed
-	// so the decoder reads forward.
-	for i := len(body) - 1; i >= 0; i-- {
-		out = append(out, body[i])
-	}
+	out = append(out, body[idx:]...)
+	pool.PutBytes(body)
 	return out
 }
 
 // Decode implements Codec.
-func (ANS) Decode(src []byte) ([]byte, error) {
+func (a ANS) Decode(src []byte) ([]byte, error) {
+	return a.DecodeInto(nil, src)
+}
+
+// DecodeInto implements IntoDecoder.
+func (ANS) DecodeInto(scratch, src []byte) ([]byte, error) {
 	n, consumed, err := getUvarint(src)
 	if err != nil {
 		return nil, err
@@ -125,16 +161,20 @@ func (ANS) Decode(src []byte) ([]byte, error) {
 		return nil, corruptf("ANS: frequencies sum to %d, want %d", total, ansProbScale)
 	}
 
-	var cum [257]uint32
+	// slot → (symbol, start, freq-1) fused into one word — one dependent
+	// load per decoded symbol instead of the symbol/freq/cum lookup chain.
+	var cum uint32
+	var tab [ansProbScale]uint32
 	for s := 0; s < 256; s++ {
-		cum[s+1] = cum[s] + freq[s]
-	}
-	// slot → symbol lookup table.
-	var slotSym [ansProbScale]byte
-	for s := 0; s < 256; s++ {
-		for slot := cum[s]; slot < cum[s+1]; slot++ {
-			slotSym[slot] = byte(s)
+		f := freq[s]
+		if f == 0 {
+			continue
 		}
+		e := uint32(s) | cum<<8 | (f-1)<<20
+		for slot := cum; slot < cum+f; slot++ {
+			tab[slot] = e
+		}
+		cum += f
 	}
 
 	if len(src) < 4 {
@@ -146,19 +186,37 @@ func (ANS) Decode(src []byte) ([]byte, error) {
 		return nil, corruptf("ANS: invalid initial state %d", x)
 	}
 
-	dst := make([]byte, n)
+	var dst []byte
+	if uint64(cap(scratch)) >= n {
+		dst = scratch[:n]
+	} else {
+		dst = make([]byte, n)
+	}
 	pos := 0
-	for i := uint64(0); i < n; i++ {
+	for i := range dst {
 		slot := x & (ansProbScale - 1)
-		s := slotSym[slot]
-		dst[i] = s
-		x = freq[s]*(x>>ansProbBits) + slot - cum[s]
-		for x < ansLowBound {
-			if pos >= len(src) {
+		e := tab[slot]
+		dst[i] = byte(e)
+		x = (e>>20+1)*(x>>ansProbBits) + slot - (e>>8)&0xfff
+		// Renormalize: a state below 2^15 needs two bytes, never three (the
+		// symbol update leaves x >= 2^11).
+		if x < ansLowBound {
+			if x < 1<<15 && pos+1 < len(src) {
+				x = x<<16 | uint32(src[pos])<<8 | uint32(src[pos+1])
+				pos += 2
+			} else if pos < len(src) {
+				x = x<<8 | uint32(src[pos])
+				pos++
+				if x < ansLowBound {
+					if pos >= len(src) {
+						return nil, corruptf("ANS: truncated body at symbol %d", i)
+					}
+					x = x<<8 | uint32(src[pos])
+					pos++
+				}
+			} else {
 				return nil, corruptf("ANS: truncated body at symbol %d", i)
 			}
-			x = x<<8 | uint32(src[pos])
-			pos++
 		}
 	}
 	return dst, nil

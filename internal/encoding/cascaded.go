@@ -1,6 +1,9 @@
 package encoding
 
-import "compso/internal/bitstream"
+import (
+	"compso/internal/bitstream"
+	"compso/internal/pool"
+)
 
 // Cascaded is the stand-in for nvCOMP's Cascaded codec: a run-length
 // encoding stage followed by bit-packing of the run values and lengths.
@@ -14,14 +17,20 @@ type Cascaded struct{}
 func (Cascaded) Name() string { return "Cascaded" }
 
 // Encode implements Codec.
-func (Cascaded) Encode(src []byte) []byte {
-	out := putUvarint(nil, uint64(len(src)))
+func (c Cascaded) Encode(src []byte) []byte {
+	return c.EncodeAppend(make([]byte, 0, len(src)/4+16), src)
+}
+
+// EncodeAppend implements AppendEncoder. RLE pair vectors and the bit
+// writer's buffer come from the buffer arena.
+func (Cascaded) EncodeAppend(dst, src []byte) []byte {
+	out := putUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
 		return out
 	}
 	// Stage 1: RLE into (value, runLength) pairs.
-	values := make([]byte, 0, 256)
-	runs := make([]uint32, 0, 256)
+	values := pool.Bytes(256)[:0]
+	runs := pool.U32(256)[:0]
 	cur := src[0]
 	var run uint32 = 1
 	for _, b := range src[1:] {
@@ -56,16 +65,27 @@ func (Cascaded) Encode(src []byte) []byte {
 	}
 	out = putUvarint(out, uint64(len(values)))
 	out = append(out, byte(vWidth), byte(rWidth))
-	w := bitstream.NewWriter(len(values))
+	var w bitstream.Writer
+	// Worst case is 8 value bits + 31 run bits per pair (< 5 bytes).
+	w.ResetBuf(pool.Bytes(len(values)*5 + 8))
 	for i, v := range values {
 		w.WriteBits(uint64(v), vWidth)
 		w.WriteBits(uint64(runs[i]), rWidth)
 	}
-	return append(out, w.Bytes()...)
+	out = append(out, w.Bytes()...)
+	pool.PutBytes(w.Buf())
+	pool.PutBytes(values)
+	pool.PutU32(runs)
+	return out
 }
 
 // Decode implements Codec.
-func (Cascaded) Decode(src []byte) ([]byte, error) {
+func (c Cascaded) Decode(src []byte) ([]byte, error) {
+	return c.DecodeInto(nil, src)
+}
+
+// DecodeInto implements IntoDecoder.
+func (Cascaded) DecodeInto(scratch, src []byte) ([]byte, error) {
 	n, consumed, err := getUvarint(src)
 	if err != nil {
 		return nil, err
@@ -90,7 +110,12 @@ func (Cascaded) Decode(src []byte) ([]byte, error) {
 		return nil, corruptf("Cascaded: invalid widths v=%d r=%d", vWidth, rWidth)
 	}
 	r := bitstream.NewReader(src[2:])
-	dst := make([]byte, 0, n)
+	var dst []byte
+	if uint64(cap(scratch)) >= n {
+		dst = scratch[:0]
+	} else {
+		dst = make([]byte, 0, n)
+	}
 	for p := uint64(0); p < pairs; p++ {
 		v, err := r.ReadBits(vWidth)
 		if err != nil {

@@ -27,6 +27,41 @@ type Codec interface {
 	Decode(src []byte) ([]byte, error)
 }
 
+// AppendEncoder is the optional zero-copy sibling of Codec.Encode: the
+// encoded stream is appended to dst (which may be a pooled buffer) instead of
+// forcing a fresh allocation per call. The appended bytes are identical to
+// what Encode would return.
+type AppendEncoder interface {
+	EncodeAppend(dst, src []byte) []byte
+}
+
+// IntoDecoder is the optional scratch-reusing sibling of Codec.Decode: when
+// cap(dst) is large enough the decoded stream is written into dst's storage,
+// otherwise a fresh buffer is allocated. The returned slice aliases dst in
+// the former case.
+type IntoDecoder interface {
+	DecodeInto(dst, src []byte) ([]byte, error)
+}
+
+// EncodeAppend appends c's encoding of src to dst, using the codec's
+// AppendEncoder fast path when it has one and falling back to Encode+append
+// otherwise.
+func EncodeAppend(c Codec, dst, src []byte) []byte {
+	if ae, ok := c.(AppendEncoder); ok {
+		return ae.EncodeAppend(dst, src)
+	}
+	return append(dst, c.Encode(src)...)
+}
+
+// DecodeInto decodes src with c into dst's storage when the codec supports
+// IntoDecoder and cap(dst) suffices; otherwise it falls back to Decode.
+func DecodeInto(c Codec, dst, src []byte) ([]byte, error) {
+	if id, ok := c.(IntoDecoder); ok {
+		return id.DecodeInto(dst, src)
+	}
+	return c.Decode(src)
+}
+
 // ErrCorrupt is wrapped by all decoders when the input cannot have been
 // produced by the matching encoder.
 var ErrCorrupt = errors.New("encoding: corrupt input")

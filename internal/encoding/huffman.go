@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"compso/internal/bitstream"
+	"compso/internal/pool"
 )
 
 // Huffman is a canonical Huffman coder over bytes. It is not part of the
@@ -19,8 +20,14 @@ func (Huffman) Name() string { return "Huffman" }
 const huffMaxCodeLen = 57 // bounded by bitstream.Reader's width limit
 
 // Encode implements Codec.
-func (Huffman) Encode(src []byte) []byte {
-	out := putUvarint(nil, uint64(len(src)))
+func (h Huffman) Encode(src []byte) []byte {
+	return h.EncodeAppend(make([]byte, 0, len(src)/2+208), src)
+}
+
+// EncodeAppend implements AppendEncoder. The bit writer runs over a pooled
+// buffer so per-call allocations are limited to dst growth.
+func (Huffman) EncodeAppend(dst, src []byte) []byte {
+	out := putUvarint(dst, uint64(len(src)))
 	if len(src) == 0 {
 		return out
 	}
@@ -32,7 +39,8 @@ func (Huffman) Encode(src []byte) []byte {
 	codes := canonicalCodes(lens)
 
 	// Header: 256 code lengths, 6 bits each (lengths <= 57 fit).
-	w := bitstream.NewWriter(len(src)/2 + 200)
+	var w bitstream.Writer
+	w.ResetBuf(pool.Bytes(len(src)/2 + 200))
 	for _, l := range lens {
 		w.WriteBits(uint64(l), 6)
 	}
@@ -44,11 +52,20 @@ func (Huffman) Encode(src []byte) []byte {
 			w.WriteBit(c >> uint(k))
 		}
 	}
-	return append(out, w.Bytes()...)
+	out = append(out, w.Bytes()...)
+	pool.PutBytes(w.Buf())
+	return out
 }
 
 // Decode implements Codec.
-func (Huffman) Decode(src []byte) ([]byte, error) {
+func (h Huffman) Decode(src []byte) ([]byte, error) {
+	return h.DecodeInto(nil, src)
+}
+
+// DecodeInto implements IntoDecoder. Decoding walks the canonical
+// firstCode/count tables (one comparison per code length) instead of probing
+// a map per bit, which is both allocation-free and substantially faster.
+func (Huffman) DecodeInto(scratch, src []byte) ([]byte, error) {
 	n, consumed, err := getUvarint(src)
 	if err != nil {
 		return nil, err
@@ -60,7 +77,7 @@ func (Huffman) Decode(src []byte) ([]byte, error) {
 		return nil, corruptf("Huffman: implausible length %d", n)
 	}
 	r := bitstream.NewReader(src[consumed:])
-	lens := make([]int, 256)
+	var lens [256]int
 	for i := range lens {
 		v, err := r.ReadBits(6)
 		if err != nil {
@@ -68,37 +85,67 @@ func (Huffman) Decode(src []byte) ([]byte, error) {
 		}
 		lens[i] = int(v)
 	}
-	codes := canonicalCodes(lens)
-	// Build a decode map keyed by (length, code). Symbol counts are tiny,
-	// so a map is fine; hot paths in the compressors use ANS, not Huffman.
-	type key struct {
-		len  int
-		code uint64
-	}
-	decode := make(map[key]byte)
-	for s, l := range lens {
+	// Canonical decode tables: symbols sorted by (length, symbol) — the same
+	// order canonicalCodes assigns codes in — plus, per length, the first
+	// code value and the base index into the symbol array. A prefix of the
+	// stream is a codeword of length L iff its value lies in
+	// [firstCode[L], firstCode[L]+count[L]).
+	var count [huffMaxCodeLen + 1]int
+	for _, l := range lens {
 		if l > 0 {
-			decode[key{l, codes[s]}] = byte(s)
+			count[l]++
 		}
 	}
-	dst := make([]byte, 0, n)
-	for uint64(len(dst)) < n {
-		var code uint64
+	var syms [256]byte
+	var firstCode [huffMaxCodeLen + 1]uint64
+	var symBase [huffMaxCodeLen + 1]int
+	idx := 0
+	var code uint64
+	prevLen := 0
+	for l := 1; l <= huffMaxCodeLen; l++ {
+		if count[l] == 0 {
+			continue
+		}
+		code <<= uint(l - prevLen)
+		firstCode[l] = code
+		symBase[l] = idx
+		code += uint64(count[l])
+		prevLen = l
+		for s := 0; s < 256; s++ {
+			if lens[s] == l {
+				syms[idx] = byte(s)
+				idx++
+			}
+		}
+	}
+	if idx == 0 {
+		return nil, corruptf("Huffman: empty code table with %d symbols expected", n)
+	}
+	var dst []byte
+	if uint64(cap(scratch)) >= n {
+		dst = scratch[:n]
+	} else {
+		dst = make([]byte, n)
+	}
+	for i := uint64(0); i < n; i++ {
+		var c uint64
 		length := 0
 		for {
 			bit, err := r.ReadBit()
 			if err != nil {
-				return nil, corruptf("Huffman: truncated body at output %d", len(dst))
+				return nil, corruptf("Huffman: truncated body at output %d", i)
 			}
 			// Canonical codes are assigned MSB-first; accumulate that way.
-			code = code<<1 | bit
+			c = c<<1 | bit
 			length++
 			if length > huffMaxCodeLen {
 				return nil, corruptf("Huffman: code longer than %d bits", huffMaxCodeLen)
 			}
-			if s, ok := decode[key{length, code}]; ok {
-				dst = append(dst, s)
-				break
+			if cnt := count[length]; cnt > 0 {
+				if off := c - firstCode[length]; off < uint64(cnt) {
+					dst[i] = syms[symBase[length]+int(off)]
+					break
+				}
 			}
 		}
 	}

@@ -37,9 +37,13 @@ func (i Inversion) String() string {
 }
 
 // refreshCholesky computes and caches the damped factor inverses for
-// layer i.
+// layer i, skipping the solve when the cached inverses already correspond
+// to the current committed factors.
 func (k *KFAC) refreshCholesky(i int) error {
 	l := k.layers[i]
+	if l.invA != nil && l.invG != nil && l.invVersion == k.statVersion {
+		return nil
+	}
 	a := l.A.Clone().Symmetrize()
 	g := l.G.Clone().Symmetrize()
 	// Factored Tikhonov: split the damping between the factors in
@@ -62,6 +66,7 @@ func (k *KFAC) refreshCholesky(i int) error {
 		return fmt.Errorf("kfac: layer %s invert G: %w", l.name, err)
 	}
 	l.invA, l.invG = invA, invG
+	l.invVersion = k.statVersion
 	return nil
 }
 

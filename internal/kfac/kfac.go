@@ -61,8 +61,14 @@ type layerState struct {
 	pendA, pendG *tensor.Matrix
 
 	eigA, eigG *tensor.Eigen
-	// invA, invG cache the damped factor inverses in CholeskyInverse mode.
+	// eigVersion is the statVersion the cached eigendecomposition was
+	// computed from; a matching version means A and G are unchanged and the
+	// refresh can be skipped outright.
+	eigVersion int
+	// invA, invG cache the damped factor inverses in CholeskyInverse mode,
+	// stamped with invVersion the same way.
 	invA, invG *tensor.Matrix
+	invVersion int
 	// precond holds the layer's preconditioned gradient after
 	// Precondition/SetPreconditioned.
 	precond *tensor.Matrix
@@ -73,9 +79,15 @@ type layerState struct {
 // data-parallel training every worker owns one instance over its own model
 // replica.
 type KFAC struct {
-	cfg    Config
-	step   int
-	layers []*layerState
+	cfg  Config
+	step int
+	// statVersion counts covariance commits. The factor decompositions are
+	// pure functions of A and G, which only change in CommitCovariances, so
+	// a layer whose cached eigVersion/invVersion matches statVersion can
+	// reuse its factors across the whole inverse-update interval — e.g. with
+	// StatFreq > InvFreq most RefreshEigen calls become cache hits.
+	statVersion int
+	layers      []*layerState
 	// others are non-K-FAC parameters (layer norms, embeddings) updated by
 	// plain momentum SGD.
 	others   []*nn.Param
@@ -196,6 +208,7 @@ func (k *KFAC) CommitCovariances(buf []float64, worldSize int) error {
 		}
 		l.pendA, l.pendG = nil, nil
 	}
+	k.statVersion++
 	return nil
 }
 
@@ -208,11 +221,16 @@ func (k *KFAC) NeedsEigen() bool {
 // RefreshEigen recomputes the cached factor decomposition of layer i —
 // the "KFAC computation" stage whose cost distributed K-FAC splits across
 // GPUs. In CholeskyInverse mode it inverts the damped factors instead.
+// When the factors have not been recommitted since the cached decomposition
+// was taken, the refresh is a no-op cache hit.
 func (k *KFAC) RefreshEigen(i int) error {
 	if k.cfg.Inversion == CholeskyInverse {
 		return k.refreshCholesky(i)
 	}
 	l := k.layers[i]
+	if l.eigA != nil && l.eigG != nil && l.eigVersion == k.statVersion {
+		return nil
+	}
 	a := l.A.Clone().Symmetrize()
 	g := l.G.Clone().Symmetrize()
 	eigA, err := tensor.EigenSym(a)
@@ -224,7 +242,20 @@ func (k *KFAC) RefreshEigen(i int) error {
 		return fmt.Errorf("kfac: layer %s factor G: %w", l.name, err)
 	}
 	l.eigA, l.eigG = eigA, eigG
+	l.eigVersion = k.statVersion
 	return nil
+}
+
+// EigenCached reports whether layer i's decomposition (or inverse, in
+// CholeskyInverse mode) is already valid for the current factor state, i.e.
+// whether RefreshEigen would be a cache hit. Timing harnesses use this to
+// avoid charging eigendecomposition cost for skipped work.
+func (k *KFAC) EigenCached(i int) bool {
+	l := k.layers[i]
+	if k.cfg.Inversion == CholeskyInverse {
+		return l.invA != nil && l.invG != nil && l.invVersion == k.statVersion
+	}
+	return l.eigA != nil && l.eigG != nil && l.eigVersion == k.statVersion
 }
 
 // Precondition computes layer i's preconditioned gradient

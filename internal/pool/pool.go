@@ -1,0 +1,189 @@
+// Package pool provides the buffer arena and the shared bounded worker pool
+// behind the repository's real-compute hot paths. The paper's kernel-level
+// point (§4.5) is that compression only pays off when the (de)compression
+// kernels themselves are cheap; the Go mirror of that claim is that the
+// compressors, encoders and the training loop's gather paths must not spend
+// their time in the allocator. Every scratch buffer the fused kernels need —
+// bitmaps, zig-zag code vectors, byte planes, encoder bodies, float
+// conversion scratch — comes from the size-classed sync.Pool arenas here, so
+// steady-state training steps run near-zero-alloc.
+//
+// ParallelFor is the chunk/layer-parallel execution primitive (the
+// thread-block analogue of the fused CUDA kernels): a GOMAXPROCS-aware,
+// process-wide bounded helper pool with deterministic, index-addressed
+// output. Callers write results into their own index, so the schedule never
+// influences the bytes produced — the determinism contract the simulated
+// training results depend on.
+package pool
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Size classes are powers of two from 1<<minClassShift elements up to
+// 1<<maxClassShift; larger requests fall through to plain make and are not
+// retained on Put (they would pin large memory for rare callers).
+const (
+	minClassShift = 6 // 64 elements
+	maxClassShift = 24
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// classFor returns the size-class index covering n elements, or -1 when n
+// is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n > 1<<maxClassShift {
+		return -1
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// classCap returns the capacity of buffers in class c.
+func classCap(c int) int { return 1 << (c + minClassShift) }
+
+// arena is a size-classed pool of []T buffers. Pools store *[]T so Put does
+// not allocate a fresh slice-header box per call.
+type arena[T any] struct {
+	classes [numClasses]sync.Pool
+}
+
+// get returns a slice of length n (contents undefined — callers must fully
+// overwrite or zero it).
+func (a *arena[T]) get(n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, n)
+	}
+	if v := a.classes[c].Get(); v != nil {
+		return (*(v.(*[]T)))[:n]
+	}
+	return make([]T, n, classCap(c))
+}
+
+// put returns a buffer obtained from get. Buffers whose capacity does not
+// match a class (foreign or oversized slices) are dropped.
+func (a *arena[T]) put(s []T) {
+	c := classFor(cap(s))
+	if c < 0 || cap(s) != classCap(c) {
+		return
+	}
+	s = s[:0]
+	a.classes[c].Put(&s)
+}
+
+var (
+	bytesArena arena[byte]
+	u32Arena   arena[uint32]
+	f32Arena   arena[float32]
+	f64Arena   arena[float64]
+)
+
+// Bytes returns a pooled []byte of length n. Contents are undefined.
+func Bytes(n int) []byte { return bytesArena.get(n) }
+
+// PutBytes recycles a buffer obtained from Bytes. The caller must not
+// retain any reference to it afterwards.
+func PutBytes(b []byte) { bytesArena.put(b) }
+
+// ZeroBytes returns a pooled []byte of length n with every element zeroed.
+func ZeroBytes(n int) []byte {
+	b := bytesArena.get(n)
+	clear(b)
+	return b
+}
+
+// U32 returns a pooled []uint32 of length n. Contents are undefined.
+func U32(n int) []uint32 { return u32Arena.get(n) }
+
+// PutU32 recycles a buffer obtained from U32.
+func PutU32(s []uint32) { u32Arena.put(s) }
+
+// F32 returns a pooled []float32 of length n. Contents are undefined.
+func F32(n int) []float32 { return f32Arena.get(n) }
+
+// PutF32 recycles a buffer obtained from F32.
+func PutF32(s []float32) { f32Arena.put(s) }
+
+// ZeroF32 returns a pooled []float32 of length n with every element zeroed.
+func ZeroF32(n int) []float32 {
+	s := f32Arena.get(n)
+	clear(s)
+	return s
+}
+
+// F64 returns a pooled []float64 of length n. Contents are undefined.
+func F64(n int) []float64 { return f64Arena.get(n) }
+
+// PutF64 recycles a buffer obtained from F64.
+func PutF64(s []float64) { f64Arena.put(s) }
+
+// Workers returns the parallelism bound of the shared worker pool.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// helperTokens bounds the number of helper goroutines live across ALL
+// concurrent ParallelFor calls in the process, so nested or concurrent
+// fan-outs (P simulated workers each chunk-compressing) cannot multiply
+// into P×GOMAXPROCS goroutines. The calling goroutine always works without
+// a token, which keeps ParallelFor deadlock-free under arbitrary nesting.
+var helperTokens = make(chan struct{}, max(1, runtime.GOMAXPROCS(0)-1))
+
+// ParallelFor runs fn(i) for every i in [0, n) using the calling goroutine
+// plus up to limit-1 helpers from the shared bounded pool (limit <= 0 means
+// GOMAXPROCS). Indices are claimed atomically, so the iteration order is
+// unspecified — callers must make fn write only to index-addressed state.
+// ParallelFor returns when every index has been processed.
+func ParallelFor(n, limit int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	want := min(limit, n) - 1 // helpers beyond the calling goroutine
+	if n == 1 || want <= 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	spawned := 0
+	for ; spawned < want; spawned++ {
+		select {
+		case helperTokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-helperTokens
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			// Pool saturated: the calling goroutine absorbs the rest.
+			spawned = want
+		}
+	}
+	work()
+	wg.Wait()
+}

@@ -1,0 +1,133 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << maxClassShift, numClasses - 1},
+		{1<<maxClassShift + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetPutRoundTrip(t *testing.T) {
+	b := Bytes(100)
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("Bytes(100): len %d cap %d", len(b), cap(b))
+	}
+	PutBytes(b)
+	f := F32(1000)
+	if len(f) != 1000 || cap(f) != 1024 {
+		t.Fatalf("F32(1000): len %d cap %d", len(f), cap(f))
+	}
+	PutF32(f)
+	u := U32(65)
+	if len(u) != 65 || cap(u) != 128 {
+		t.Fatalf("U32(65): len %d cap %d", len(u), cap(u))
+	}
+	PutU32(u)
+	d := F64(64)
+	if len(d) != 64 || cap(d) != 64 {
+		t.Fatalf("F64(64): len %d cap %d", len(d), cap(d))
+	}
+	PutF64(d)
+}
+
+func TestOversizedNotRetained(t *testing.T) {
+	n := 1<<maxClassShift + 1
+	b := Bytes(n)
+	if len(b) != n {
+		t.Fatalf("len %d", len(b))
+	}
+	PutBytes(b) // must not panic and must be dropped
+}
+
+func TestForeignBufferDropped(t *testing.T) {
+	// A buffer whose capacity is not a class capacity must be ignored.
+	PutBytes(make([]byte, 0, 100))
+}
+
+func TestZeroVariantsZero(t *testing.T) {
+	b := Bytes(128)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	PutBytes(b)
+	z := ZeroBytes(128)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("ZeroBytes[%d] = %d", i, v)
+		}
+	}
+	f := F32(128)
+	for i := range f {
+		f[i] = 1
+	}
+	PutF32(f)
+	zf := ZeroF32(128)
+	for i, v := range zf {
+		if v != 0 {
+			t.Fatalf("ZeroF32[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		hits := make([]int32, n)
+		ParallelFor(n, 0, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForLimitOne(t *testing.T) {
+	// limit 1 must run serially on the calling goroutine, in order.
+	var order []int
+	ParallelFor(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order broken: %v", order)
+		}
+	}
+}
+
+func TestParallelForNested(t *testing.T) {
+	// Nested and concurrent ParallelFor calls must not deadlock and must
+	// still cover every index.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outer := make([]int32, 16)
+			ParallelFor(16, 0, func(i int) {
+				inner := make([]int32, 8)
+				ParallelFor(8, 0, func(j int) { inner[j]++ })
+				for j, h := range inner {
+					if h != 1 {
+						t.Errorf("inner[%d] = %d", j, h)
+					}
+				}
+				outer[i]++
+			})
+			for i, h := range outer {
+				if h != 1 {
+					t.Errorf("outer[%d] = %d", i, h)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,214 @@
+package quant
+
+import (
+	"math"
+	"testing"
+
+	"compso/internal/xrand"
+)
+
+// TestQuantizeZigIntoMatchesMultiPass proves the fused kernel consumes the
+// RNG stream and produces codes exactly like QuantizeEB + ZigZag.
+func TestQuantizeZigIntoMatchesMultiPass(t *testing.T) {
+	for _, mode := range []Mode{RN, SR, P05} {
+		for _, n := range []int{0, 1, 7, 8, 1000} {
+			src := make([]float32, n)
+			xrand.KFACGradient(xrand.NewSeeded(42+int64(n)), src, 1.0)
+			eb := 4e-3
+
+			ref := QuantizeEB(src, eb, mode, xrand.NewSeeded(7))
+			dst := make([]uint32, n)
+			maxZig := QuantizeZigInto(dst, src, BinWidth(eb, mode), mode, xrand.NewSeeded(7))
+
+			var wantMax uint32
+			for i, c := range ref {
+				z := ZigZag(c)
+				if z > wantMax {
+					wantMax = z
+				}
+				if dst[i] != z {
+					t.Fatalf("mode %v n=%d: code %d: fused %d, multi-pass %d", mode, n, i, dst[i], z)
+				}
+			}
+			if maxZig != wantMax {
+				t.Fatalf("mode %v n=%d: maxZig %d, want %d", mode, n, maxZig, wantMax)
+			}
+		}
+	}
+}
+
+// TestFilterQuantizeZigMatchesMultiPass proves the fused filter+quantize
+// kernel reproduces filter.Apply's bitmap and the kept-value codes bit for
+// bit. The filter package is not imported to avoid a cycle; the reference
+// bitmap is built inline with the same rule.
+func TestFilterQuantizeZigMatchesMultiPass(t *testing.T) {
+	for _, mode := range []Mode{RN, SR, P05} {
+		for _, n := range []int{0, 1, 7, 8, 9, 4096, 4099} {
+			src := make([]float32, n)
+			xrand.KFACGradient(xrand.NewSeeded(3*int64(n)+1), src, 1.0)
+			ebf, ebq := 4e-3, 4e-3
+
+			// Multi-pass reference: filter scan, then quantize kept values.
+			refBitmap := make([]byte, (n+7)/8)
+			var keptVals []float32
+			for i, v := range src {
+				if abs64(v) < ebf {
+					refBitmap[i/8] |= 1 << (i % 8)
+				} else {
+					keptVals = append(keptVals, v)
+				}
+			}
+			refCodes := QuantizeEB(keptVals, ebq, mode, xrand.NewSeeded(11))
+
+			bitmap := make([]byte, (n+7)/8)
+			dst := make([]uint32, n)
+			kept, maxZig := FilterQuantizeZig(bitmap, dst, src, ebf, BinWidth(ebq, mode), mode, xrand.NewSeeded(11))
+
+			if kept != len(keptVals) {
+				t.Fatalf("mode %v n=%d: kept %d, want %d", mode, n, kept, len(keptVals))
+			}
+			for i := range refBitmap {
+				if bitmap[i] != refBitmap[i] {
+					t.Fatalf("mode %v n=%d: bitmap byte %d: %08b, want %08b", mode, n, i, bitmap[i], refBitmap[i])
+				}
+			}
+			var wantMax uint32
+			for i, c := range refCodes {
+				z := ZigZag(c)
+				if z > wantMax {
+					wantMax = z
+				}
+				if dst[i] != z {
+					t.Fatalf("mode %v n=%d: kept code %d: fused %d, multi-pass %d", mode, n, i, dst[i], z)
+				}
+			}
+			if maxZig != wantMax {
+				t.Fatalf("mode %v n=%d: maxZig %d, want %d", mode, n, maxZig, wantMax)
+			}
+		}
+	}
+}
+
+// TestPCGKernelsMatchRandVariants proves the devirtualized PCG kernels
+// reproduce the *rand.Rand kernels exactly — same bitmap, codes, RNG
+// consumption — including on adversarial values straddling the filter
+// bound, where the integer-domain magnitude test must agree with the
+// float64 comparison bit for bit.
+func TestPCGKernelsMatchRandVariants(t *testing.T) {
+	for _, ebf := range []float64{4e-3, 1e-6, 0.114137214359, 2} {
+		t32 := float32(ebf)
+		src := []float32{
+			0, float32(math.Copysign(0, -1)), t32, -t32,
+			math.Nextafter32(t32, 0), math.Nextafter32(t32, 2*t32),
+			-math.Nextafter32(t32, 0), -math.Nextafter32(t32, 2*t32),
+			float32(math.Inf(1)), float32(math.Inf(-1)),
+			1e-30, -1e-30, 0.5, -0.5, 3,
+		}
+		// Pad with gradient-like mass so the RNG advances a realistic amount.
+		pad := make([]float32, 777)
+		xrand.KFACGradient(xrand.NewSeeded(int64(ebf*1e6)+2), pad, 1.0)
+		src = append(src, pad...)
+
+		n := len(src)
+		binW := BinWidth(4e-3, SR)
+		refBitmap := make([]byte, (n+7)/8)
+		refDst := make([]uint32, n)
+		refKept, refMax := FilterQuantizeZig(refBitmap, refDst, src, ebf, binW, SR, xrand.NewSeeded(31))
+		bitmap := make([]byte, (n+7)/8)
+		dst := make([]uint32, n)
+		kept, maxZig := FilterQuantizeZigPCG(bitmap, dst, src, ebf, binW, xrand.NewPCG(31))
+		if kept != refKept || maxZig != refMax {
+			t.Fatalf("ebf=%g: kept/max %d/%d, want %d/%d", ebf, kept, maxZig, refKept, refMax)
+		}
+		for i := range refBitmap {
+			if bitmap[i] != refBitmap[i] {
+				t.Fatalf("ebf=%g: bitmap byte %d: %08b, want %08b", ebf, i, bitmap[i], refBitmap[i])
+			}
+		}
+		for i := 0; i < kept; i++ {
+			if dst[i] != refDst[i] {
+				t.Fatalf("ebf=%g: code %d: PCG %d, rand %d", ebf, i, dst[i], refDst[i])
+			}
+		}
+
+		refMax = QuantizeZigInto(refDst, src, binW, SR, xrand.NewSeeded(47))
+		maxZig = QuantizeZigIntoPCG(dst, src, binW, xrand.NewPCG(47))
+		if maxZig != refMax {
+			t.Fatalf("ebf=%g: dense maxZig %d, want %d", ebf, maxZig, refMax)
+		}
+		for i := range refDst {
+			if dst[i] != refDst[i] {
+				t.Fatalf("ebf=%g: dense code %d: PCG %d, rand %d", ebf, i, dst[i], refDst[i])
+			}
+		}
+	}
+}
+
+func abs64(v float32) float64 {
+	f := float64(v)
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func TestPlaneCountAndFillPlane(t *testing.T) {
+	codes := []int32{0, -1, 127, -128, 300, -70000}
+	zigs := make([]uint32, len(codes))
+	var maxZig uint32
+	for i, c := range codes {
+		zigs[i] = ZigZag(c)
+		if zigs[i] > maxZig {
+			maxZig = zigs[i]
+		}
+	}
+	planes := PlaneSplit(codes)
+	if got := PlaneCount(maxZig); got != len(planes) {
+		t.Fatalf("PlaneCount %d, PlaneSplit %d", got, len(planes))
+	}
+	for p := range planes {
+		dst := make([]byte, len(codes))
+		FillPlane(dst, zigs, p)
+		for i := range dst {
+			if dst[i] != planes[p][i] {
+				t.Fatalf("plane %d byte %d: %d want %d", p, i, dst[i], planes[p][i])
+			}
+		}
+	}
+}
+
+func TestPackZigsMatchesPackCodes(t *testing.T) {
+	for _, codes := range [][]int32{nil, {0, 0, 0}, {1, -2, 300, -70000, 0}} {
+		zigs := make([]uint32, len(codes))
+		var maxZig uint32
+		for i, c := range codes {
+			zigs[i] = ZigZag(c)
+			if zigs[i] > maxZig {
+				maxZig = zigs[i]
+			}
+		}
+		want := PackCodes(codes)
+		got := PackZigs(make([]byte, 64), zigs, maxZig)
+		if len(got) != len(want) {
+			t.Fatalf("len %d want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d: %d want %d", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDequantizeZigMatchesDequantizeEB(t *testing.T) {
+	codes := []int32{0, 1, -1, 100, -100, 1 << 20}
+	for _, mode := range []Mode{RN, SR} {
+		eb := 1e-2
+		ref := DequantizeEB(codes, eb, mode)
+		for i, c := range codes {
+			if got := DequantizeZig(ZigZag(c), BinWidth(eb, mode)); got != ref[i] {
+				t.Fatalf("mode %v code %d: %g want %g", mode, c, got, ref[i])
+			}
+		}
+	}
+}

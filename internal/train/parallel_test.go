@@ -1,0 +1,148 @@
+package train
+
+import (
+	"runtime"
+	"testing"
+
+	"compso/internal/compress"
+	"compso/internal/kfac"
+)
+
+// refPipelineCOMPSO delegates to the preserved multi-pass reference pipeline
+// (compress/reference.go), so a whole training run can be compared against
+// the fused, pooled hot path.
+type refPipelineCOMPSO struct{ c *compress.COMPSO }
+
+func (r refPipelineCOMPSO) Name() string { return r.c.Name() }
+func (r refPipelineCOMPSO) Compress(src []float32) ([]byte, error) {
+	return r.c.ReferenceCompress(src)
+}
+func (r refPipelineCOMPSO) Decompress(data []byte) ([]float32, error) {
+	return r.c.ReferenceDecompress(data)
+}
+
+// requireIdenticalResults asserts two runs produced bit-identical logs:
+// losses, accuracies, mean compression ratio and the simulated-time
+// accounting, with no tolerance.
+func requireIdenticalResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	if len(a.Losses) != len(b.Losses) {
+		t.Fatalf("eval counts differ: %d vs %d", len(a.Losses), len(b.Losses))
+	}
+	for i := range a.Losses {
+		if a.Losses[i] != b.Losses[i] {
+			t.Fatalf("loss %d differs: %g vs %g", i, a.Losses[i], b.Losses[i])
+		}
+	}
+	for i := range a.Accuracies {
+		if a.Accuracies[i] != b.Accuracies[i] {
+			t.Fatalf("accuracy %d differs: %g vs %g", i, a.Accuracies[i], b.Accuracies[i])
+		}
+	}
+	if a.FinalLoss != b.FinalLoss || a.FinalAcc != b.FinalAcc {
+		t.Fatalf("final metrics differ: %g/%g vs %g/%g", a.FinalLoss, a.FinalAcc, b.FinalLoss, b.FinalAcc)
+	}
+	if a.MeanCR != b.MeanCR {
+		t.Fatalf("MeanCR differs: %g vs %g", a.MeanCR, b.MeanCR)
+	}
+	if len(a.CommSeconds) != len(b.CommSeconds) {
+		t.Fatalf("CommSeconds keys differ: %v vs %v", a.CommSeconds, b.CommSeconds)
+	}
+	for k, v := range a.CommSeconds {
+		if b.CommSeconds[k] != v {
+			t.Fatalf("CommSeconds[%s] differs: %g vs %g", k, v, b.CommSeconds[k])
+		}
+	}
+	if len(a.AlgSeconds) != len(b.AlgSeconds) {
+		t.Fatalf("AlgSeconds keys differ: %v vs %v", a.AlgSeconds, b.AlgSeconds)
+	}
+	for k, v := range a.AlgSeconds {
+		if b.AlgSeconds[k] != v {
+			t.Fatalf("AlgSeconds[%s] differs: %g vs %g", k, v, b.AlgSeconds[k])
+		}
+	}
+}
+
+// runSerially executes a run with GOMAXPROCS pinned to 1, which degrades
+// every pool.ParallelFor fan-out to an in-order loop on the calling
+// goroutine — the serial execution the pre-parallel code performed.
+func runSerially(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestKFACResultMatchesReferenceSerialPath is the end-to-end golden check of
+// the fused/pooled/parallel rewrite: a K-FAC+COMPSO training run on the
+// fused hot path (parallel decode, pooled buffers) must produce a
+// bit-identical Result to the same seed run through the preserved multi-pass
+// reference pipeline under a serial schedule — the exact pre-rewrite path.
+func TestKFACResultMatchesReferenceSerialPath(t *testing.T) {
+	base := baseConfig(20)
+	base.UseKFAC = true
+	base.KFAC = kfac.DefaultConfig()
+	base.AggregationM = 2
+
+	fused := base
+	fused.NewCompressor = func(rank int) compress.Compressor {
+		return compress.NewCOMPSO(int64(rank) + 7)
+	}
+	resFused, err := Run(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := base
+	ref.NewCompressor = func(rank int) compress.Compressor {
+		return refPipelineCOMPSO{c: compress.NewCOMPSO(int64(rank) + 7)}
+	}
+	resRef := runSerially(t, ref)
+	requireIdenticalResults(t, resFused, resRef)
+}
+
+// TestSGDResultMatchesReferenceSerialPath covers the first-order gather
+// path: parallel decode + per-rank CR accumulation vs the reference
+// pipeline run serially.
+func TestSGDResultMatchesReferenceSerialPath(t *testing.T) {
+	base := baseConfig(20)
+
+	fused := base
+	fused.NewCompressor = func(rank int) compress.Compressor {
+		return compress.NewCOMPSO(int64(rank) + 13)
+	}
+	resFused, err := Run(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := base
+	ref.NewCompressor = func(rank int) compress.Compressor {
+		return refPipelineCOMPSO{c: compress.NewCOMPSO(int64(rank) + 13)}
+	}
+	resRef := runSerially(t, ref)
+	requireIdenticalResults(t, resFused, resRef)
+}
+
+// TestParallelScheduleMatchesSerial pins the schedule-independence claim on
+// the remaining parallel surfaces: compressed factor exchange, the eigen
+// fan-out with the version cache active (StatFreq > InvFreq makes most
+// refreshes cache hits), and the uncompressed-payload pooled framing.
+func TestParallelScheduleMatchesSerial(t *testing.T) {
+	cfg := baseConfig(20)
+	cfg.UseKFAC = true
+	cfg.KFAC = kfac.DefaultConfig()
+	cfg.KFAC.InvFreq = 5
+	cfg.StatFreq = 10
+	cfg.CompressFactors = true
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := runSerially(t, cfg)
+	requireIdenticalResults(t, par, ser)
+}

@@ -23,6 +23,7 @@ import (
 	"compso/internal/nn"
 	"compso/internal/obs"
 	"compso/internal/opt"
+	"compso/internal/pool"
 	"compso/internal/xrand"
 )
 
@@ -150,11 +151,15 @@ func Run(c Config) (*Result, error) {
 	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
 	var mu sync.Mutex
 	var firstErr error
-	var crSum float64
-	var crCount int
+	// Per-rank compression-ratio accumulators: each worker adds to its own
+	// slot lock-free on the hot path, and the slots merge in rank order once
+	// the run finishes — so MeanCR is deterministic (the old shared-sum
+	// design both contended a mutex per compress call and summed floats in
+	// scheduler order).
+	crs := make([]crAccum, cfg.Workers)
 
 	workers := cl.Run(func(w *cluster.Worker) {
-		err := runWorker(w, cfg, result, &mu, &crSum, &crCount)
+		err := runWorker(w, cfg, result, &mu, &crs[w.Rank()])
 		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -165,6 +170,12 @@ func Run(c Config) (*Result, error) {
 	})
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	var crSum float64
+	var crCount int
+	for i := range crs {
+		crSum += crs[i].sum
+		crCount += crs[i].count
 	}
 	if crCount > 0 {
 		result.MeanCR = crSum / float64(crCount)
@@ -185,7 +196,7 @@ func Run(c Config) (*Result, error) {
 }
 
 // runWorker is the SPMD body.
-func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, crSum *float64, crCount *int) error {
+func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr *crAccum) error {
 	// Identical model on every worker; distinct data stream per worker.
 	task := cfg.BuildTask(xrand.NewSeeded(cfg.Seed))
 	dataRng := xrand.NewSeeded(cfg.Seed*1000 + 7 + int64(w.Rank()))
@@ -223,11 +234,11 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 		lr := cfg.Schedule.LR(it)
 		if cfg.UseKFAC {
-			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, fc, crSum, crCount, mu); err != nil {
+			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, fc, cr); err != nil {
 				return err
 			}
 		} else {
-			if err := sgdIteration(w, task, sgd, comp, it, lr, tel, fc, crSum, crCount, mu); err != nil {
+			if err := sgdIteration(w, task, sgd, comp, it, lr, tel, fc, cr); err != nil {
 				return err
 			}
 		}
@@ -269,14 +280,17 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 	return nil
 }
 
-// allReduceGrads averages all parameter gradients across workers.
+// allReduceGrads averages all parameter gradients across workers. The flat
+// staging buffer is pooled: the collective's reduction allocates its own sum
+// vector, so the buffer is only read during the exchange and can be recycled
+// as soon as the averages are scattered back.
 func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 	params := model.Params()
 	total := 0
 	for _, p := range params {
 		total += len(p.Grad.Data)
 	}
-	buf := make([]float64, 0, total)
+	buf := pool.F64(total)[:0]
 	for _, p := range params {
 		buf = append(buf, p.Grad.Data...)
 	}
@@ -289,12 +303,13 @@ func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 			pos++
 		}
 	}
+	pool.PutF64(buf)
 }
 
 // sgdIteration is the first-order path: (optionally compressed) gradient
 // exchange, then a momentum step.
 func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
-	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
 	phase := tel.beginPhase("grad-sync")
 	defer tel.endPhase(phase)
 	if comp == nil {
@@ -302,12 +317,21 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 	} else {
 		// Compressed exchange: each worker compresses its local gradient,
 		// all-gathers, and averages the decompressed replicas — the
-		// all-gather-based scheme that avoids ring error propagation.
+		// all-gather-based scheme that avoids ring error propagation. The
+		// flat staging and sum buffers are pooled; neither escapes the call
+		// (the collective payload is the compressed blob, not flat).
 		params := task.Model.Params()
-		var flat []float32
+		total := 0
+		for _, p := range params {
+			total += len(p.Grad.Data)
+		}
+		flat := pool.F32(total)
+		defer pool.PutF32(flat)
+		pos := 0
 		for _, p := range params {
 			for _, v := range p.Grad.Data {
-				flat = append(flat, float32(v))
+				flat[pos] = float32(v)
+				pos++
 			}
 		}
 		blob, err := comp.Compress(flat)
@@ -316,11 +340,35 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 		}
 		tel.compress(len(flat), len(blob), "grad-allgather")
 		tel.filterStats(comp)
-		recordCR(len(flat), len(blob), crSum, crCount, mu)
+		recordCR(len(flat), len(blob), cr)
 		parts := w.AllGather(blob, "grad-allgather")
-		sum := make([]float64, len(flat))
+		sum := pool.F64(len(flat))
+		clear(sum)
+		defer pool.PutF64(sum)
+		// Fault-free fast path: each sender's blob decodes independently, so
+		// the decompressions fan out over the shared worker pool; the
+		// simulated-time charges and the averaging sum replay serially in
+		// rank order, keeping the timeline and the float arithmetic exactly
+		// those of the serial path. With faults enabled the serial
+		// decodeGathered ladder runs instead — its retry broadcasts are
+		// collectives every rank must enter in lockstep.
+		var pvals [][]float32
+		var perrs []error
+		if fc == nil {
+			pvals = make([][]float32, len(parts))
+			perrs = make([]error, len(parts))
+			pool.ParallelFor(len(parts), 0, func(r int) {
+				pvals[r], perrs[r] = comp.Decompress(parts[r])
+			})
+		}
 		for rank, part := range parts {
-			vals, err := decodeGathered(fc, w, tel, comp, it, rank, part, blob, flat, len(flat), "grad-allgather")
+			var vals []float32
+			var err error
+			if fc == nil {
+				vals, err = chargeGathered(tel, pvals[rank], perrs[rank], len(part), rank, len(flat), "grad-allgather")
+			} else {
+				vals, err = decodeGathered(fc, w, tel, comp, it, rank, part, blob, flat, len(flat), "grad-allgather")
+			}
 			if err != nil {
 				return fmt.Errorf("train: gathered gradient from rank %d: %w", rank, err)
 			}
@@ -329,7 +377,7 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 			}
 		}
 		inv := 1.0 / float64(w.Size())
-		pos := 0
+		pos = 0
 		for _, p := range params {
 			for i := range p.Grad.Data {
 				p.Grad.Data[i] = sum[pos] * inv
@@ -341,9 +389,25 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 	return nil
 }
 
+// chargeGathered applies the serial tail of a gathered-blob decode to an
+// already-decompressed value slice: the simulated decompress-time charge and
+// the length check, with decodeGathered's exact charge order and error
+// wording. It is the install half of the parallel-decode fast path.
+func chargeGathered(tel *tele, vals []float32, decErr error, blobBytes, sender, wantLen int, category string) ([]float32, error) {
+	if decErr != nil {
+		return nil, decErr
+	}
+	tel.decompress(len(vals), blobBytes, category)
+	if len(vals) != wantLen {
+		return nil, fmt.Errorf("%w: train: gathered %d values from rank %d, want %d",
+			compress.ErrCorrupt, len(vals), sender, wantLen)
+	}
+	return vals, nil
+}
+
 // kfacIteration is the distributed K-FAC path of Figure 2.
 func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
-	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, crSum *float64, crCount *int, mu *sync.Mutex) error {
+	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
 	// Step 0: standard data-parallel gradient average.
 	phase := tel.beginPhase("grad-sync")
 	allReduceGrads(w, task.Model, "grad-allreduce")
@@ -367,13 +431,24 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 		tel.endPhase(phase)
 	}
 
-	// Step 3: eigendecomposition of owned layers.
+	// Step 3: eigendecomposition of owned layers. The decompositions are
+	// independent per layer (each touches only its own layerState), so the
+	// real compute fans out over the shared worker pool; the simulated-time
+	// charges replay serially in layer order, exactly as the serial loop
+	// issued them. Layers whose factors are unchanged since the last commit
+	// are version-cache hits inside RefreshEigen and skip the solve — the
+	// timing model still charges them, so the simulated results are
+	// independent of the cache.
 	owned := ownedLayers(k.NumLayers(), w.Size(), w.Rank())
 	if k.NeedsEigen() {
 		phase = tel.beginPhase("eigendecomp")
-		for _, li := range owned {
-			if err := k.RefreshEigen(li); err != nil {
-				return err
+		eigErrs := make([]error, len(owned))
+		pool.ParallelFor(len(owned), 0, func(j int) {
+			eigErrs[j] = k.RefreshEigen(owned[j])
+		})
+		for j, li := range owned {
+			if eigErrs[j] != nil {
+				return eigErrs[j]
 			}
 			tel.eigen(k, li)
 		}
@@ -403,36 +478,49 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 			grads = append(grads, vals)
 		}
 		flat := compso.Concat(grads)
-		var blob []byte
 		if comp != nil {
-			var err error
-			blob, err = comp.Compress(flat)
+			blob, err := comp.Compress(flat)
 			if err != nil {
 				return err
 			}
 			tel.compress(len(flat), len(blob), "kfac-allgather")
 			tel.filterStats(comp)
-			recordCR(len(flat), len(blob), crSum, crCount, mu)
+			recordCR(len(flat), len(blob), cr)
+			payload = binary.AppendUvarint(payload, uint64(len(blob)))
+			payload = append(payload, blob...)
 		} else {
-			blob = f32ToBytes(flat)
+			// The FP32 frame is copied into payload immediately, so its
+			// staging buffer comes from the arena.
+			raw := f32ToBytesPooled(flat)
+			payload = binary.AppendUvarint(payload, uint64(len(raw)))
+			payload = append(payload, raw...)
+			pool.PutBytes(raw)
 		}
-		payload = binary.AppendUvarint(payload, uint64(len(blob)))
-		payload = append(payload, blob...)
 		if fc != nil {
-			raw := f32ToBytes(flat)
+			raw := f32ToBytesPooled(flat)
 			rawPayload = binary.AppendUvarint(rawPayload, uint64(len(raw)))
 			rawPayload = append(rawPayload, raw...)
+			pool.PutBytes(raw)
 		}
 	}
 	parts := w.AllGather(payload, "kfac-allgather")
 
-	// Install every worker's decompressed preconditioned gradients, with
-	// the fault path's corrupt → retry → lossless-fallback ladder per
-	// sender frame.
+	// Install every worker's decompressed preconditioned gradients. On the
+	// fault-free fast path the pure frame decompressions fan out over the
+	// shared worker pool with a serial rank-order install; with faults
+	// enabled each sender frame goes through the serial corrupt → retry →
+	// lossless-fallback ladder, whose recovery broadcasts are collectives
+	// every rank must enter in lockstep.
 	st := &kfacState{k: k}
-	for rank, part := range parts {
-		if err := installPart(fc, w, cfg, tel, st, comp, it, rank, part, payload, rawPayload); err != nil {
+	if fc == nil {
+		if err := installPartsParallel(w, cfg, tel, st, comp, parts); err != nil {
 			return err
+		}
+	} else {
+		for rank, part := range parts {
+			if err := installPart(fc, w, cfg, tel, st, comp, it, rank, part, payload, rawPayload); err != nil {
+				return err
+			}
 		}
 	}
 	tel.endPhase(phase)
@@ -502,6 +590,121 @@ func (st *kfacState) parsePart(w *cluster.Worker, cfg Config, tel *tele,
 	return nil
 }
 
+// splitFrames cuts one sender's uvarint-framed payload into its per-group
+// blobs without decoding them — the pure framing half of parsePart, used by
+// the parallel fast path.
+func splitFrames(part []byte, nGroups, sender int) ([][]byte, error) {
+	blobs := make([][]byte, 0, nGroups)
+	pos := 0
+	for g := 0; g < nGroups; g++ {
+		blobLen, used := binary.Uvarint(part[pos:])
+		if used <= 0 || blobLen > uint64(len(part)-pos-used) {
+			return nil, fmt.Errorf("%w: train: corrupt all-gather payload from rank %d", compress.ErrCorrupt, sender)
+		}
+		pos += used
+		blobs = append(blobs, part[pos:pos+int(blobLen)])
+		pos += int(blobLen)
+	}
+	if pos != len(part) {
+		return nil, fmt.Errorf("%w: train: %d trailing bytes in all-gather payload from rank %d",
+			compress.ErrCorrupt, len(part)-pos, sender)
+	}
+	return blobs, nil
+}
+
+// installPartsParallel is the fault-free fast path for installing the
+// gathered preconditioned gradients: every sender frame decompresses
+// independently over the shared worker pool (pure decode, no shared writes —
+// all in-tree Decompress implementations only read receiver state), then the
+// simulated-time charges, group splits and SetPreconditioned installs replay
+// serially in (rank, group) order so the timeline and numerics are exactly
+// the serial path's. Lossless FP32 frames decode into pooled buffers;
+// SetPreconditioned copies, so they recycle on return.
+func installPartsParallel(w *cluster.Worker, cfg Config, tel *tele, st *kfacState,
+	comp compress.Compressor, parts [][]byte) error {
+
+	k := st.k
+	lossless := comp == nil
+	type frame struct {
+		sender int
+		blob   []byte
+		vals   []float32
+		err    error
+		pooled bool
+	}
+	frames := make([][]frame, len(parts))
+	splitErrs := make([]error, len(parts))
+	jobs := make([]*frame, 0, len(parts))
+	for rank, part := range parts {
+		rOwned := ownedLayers(k.NumLayers(), w.Size(), rank)
+		rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
+		blobs, err := splitFrames(part, len(rGroups), rank)
+		if err != nil {
+			// Surfaced at this rank's serial turn below, after earlier
+			// ranks' charges and installs have replayed.
+			splitErrs[rank] = err
+			continue
+		}
+		frames[rank] = make([]frame, len(blobs))
+		for g, b := range blobs {
+			frames[rank][g] = frame{sender: rank, blob: b}
+			jobs = append(jobs, &frames[rank][g])
+		}
+	}
+	pool.ParallelFor(len(jobs), 0, func(j int) {
+		f := jobs[j]
+		if lossless {
+			if len(f.blob)%4 != 0 {
+				f.err = fmt.Errorf("%w: train: raw frame from rank %d has %d bytes", compress.ErrCorrupt, f.sender, len(f.blob))
+				return
+			}
+			f.vals = bytesToF32Pooled(f.blob)
+			f.pooled = true
+		} else {
+			f.vals, f.err = comp.Decompress(f.blob)
+		}
+	})
+	defer func() {
+		for rank := range frames {
+			for g := range frames[rank] {
+				if frames[rank][g].pooled {
+					pool.PutF32(frames[rank][g].vals)
+				}
+			}
+		}
+	}()
+	for rank := range parts {
+		if splitErrs[rank] != nil {
+			return splitErrs[rank]
+		}
+		rOwned := ownedLayers(k.NumLayers(), w.Size(), rank)
+		rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
+		for gi, g := range rGroups {
+			f := &frames[rank][gi]
+			if f.err != nil {
+				return f.err
+			}
+			if !lossless {
+				tel.decompress(len(f.vals), len(f.blob), "kfac-allgather")
+			}
+			lengths := make([]int, len(g))
+			for i, oi := range g {
+				lengths[i] = k.LayerGradSize(rOwned[oi])
+			}
+			split, err := compso.Split(f.vals, lengths)
+			if err != nil {
+				return fmt.Errorf("%w: %v", compress.ErrCorrupt, err)
+			}
+			for i, oi := range g {
+				if err := k.SetPreconditioned(rOwned[oi], split[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // compressedFactorExchange replaces the factor all-reduce with a
 // compressed all-gather + local sum: each worker error-bound-compresses its
 // float32 factor contribution, gathers everyone's buffers, and sums the
@@ -512,29 +715,39 @@ func compressedFactorExchange(w *cluster.Worker, cfg Config, tel *tele, cov []fl
 	comp.FilterEnabled = true
 	comp.EBFilter = cfg.FactorEB
 	comp.EBQuant = cfg.FactorEB
-	local := make([]float32, len(cov))
+	local := pool.F32(len(cov))
 	for i, v := range cov {
 		local[i] = float32(v)
 	}
 	blob, err := comp.Compress(local)
+	pool.PutF32(local)
 	if err != nil {
 		return fmt.Errorf("train: factor compression: %w", err)
 	}
-	tel.compress(len(local), len(blob), "kfac-allreduce")
+	tel.compress(len(cov), len(blob), "kfac-allreduce")
 	parts := w.AllGather(blob, "kfac-allreduce")
+	// The per-rank replica decodes are independent pure reads of the shared
+	// gathered buffers, so they fan out over the shared worker pool; the
+	// decompress-time charges and the replica sum replay serially in rank
+	// order, keeping the simulated timeline and the float arithmetic
+	// identical to the serial path.
+	vals := make([][]float32, len(parts))
+	errs := make([]error, len(parts))
+	pool.ParallelFor(len(parts), 0, func(r int) {
+		vals[r], errs[r] = comp.Decompress(parts[r])
+	})
 	for i := range cov {
 		cov[i] = 0
 	}
 	for rank, part := range parts {
-		vals, err := comp.Decompress(part)
-		if err != nil {
-			return fmt.Errorf("train: factor decompression from rank %d: %w", rank, err)
+		if errs[rank] != nil {
+			return fmt.Errorf("train: factor decompression from rank %d: %w", rank, errs[rank])
 		}
-		tel.decompress(len(vals), len(part), "kfac-allreduce")
-		if len(vals) != len(cov) {
-			return fmt.Errorf("train: factor buffer from rank %d has %d values, want %d", rank, len(vals), len(cov))
+		tel.decompress(len(vals[rank]), len(part), "kfac-allreduce")
+		if len(vals[rank]) != len(cov) {
+			return fmt.Errorf("train: factor buffer from rank %d has %d values, want %d", rank, len(vals[rank]), len(cov))
 		}
-		for i, v := range vals {
+		for i, v := range vals[rank] {
 			cov[i] += float64(v)
 		}
 	}
@@ -551,16 +764,25 @@ func ownedLayers(nLayers, worldSize, rank int) []int {
 	return out
 }
 
-func recordCR(nFloats, nBytes int, crSum *float64, crCount *int, mu *sync.Mutex) {
+// crAccum is one worker's lock-free compression-ratio accumulator; Run
+// merges the per-rank accumulators in rank order after the workers finish.
+type crAccum struct {
+	sum   float64
+	count int
+}
+
+func recordCR(nFloats, nBytes int, cr *crAccum) {
 	if nFloats == 0 || nBytes == 0 {
 		return
 	}
-	mu.Lock()
-	*crSum += float64(4*nFloats) / float64(nBytes)
-	*crCount++
-	mu.Unlock()
+	cr.sum += float64(4*nFloats) / float64(nBytes)
+	cr.count++
 }
 
+// f32ToBytes encodes v little-endian into a fresh allocation. It is the
+// right choice for buffers that escape into collectives — Broadcast and
+// AllGather payloads are retained by other workers' goroutines and must
+// never come from the arena.
 func f32ToBytes(v []float32) []byte {
 	out := make([]byte, 4*len(v))
 	for i, f := range v {
@@ -569,8 +791,28 @@ func f32ToBytes(v []float32) []byte {
 	return out
 }
 
+// f32ToBytesPooled is f32ToBytes into an arena buffer, for frames that are
+// copied out immediately; the caller must hand it back via pool.PutBytes.
+func f32ToBytesPooled(v []float32) []byte {
+	out := pool.Bytes(4 * len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(f))
+	}
+	return out
+}
+
 func bytesToF32(b []byte) []float32 {
 	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// bytesToF32Pooled is bytesToF32 into an arena buffer; the caller must hand
+// it back via pool.PutF32 once the values have been copied out.
+func bytesToF32Pooled(b []byte) []float32 {
+	out := pool.F32(len(b) / 4)
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
 	}

@@ -15,6 +15,21 @@ func New(seed1, seed2 uint64) *rand.Rand {
 	return rand.New(rand.NewPCG(seed1, seed2))
 }
 
+// NewPCG returns the raw PCG source that NewSeeded(seed) wraps, for hot
+// loops that want devirtualized draws: rand.New(NewPCG(seed)) produces
+// exactly the NewSeeded(seed) stream, and drawing from the PCG directly
+// (see PCGFloat64) advances that same stream.
+func NewPCG(seed int64) *rand.PCG {
+	return rand.NewPCG(uint64(seed), uint64(seed)*0x9e3779b97f4a7c15+1)
+}
+
+// PCGFloat64 draws a uniform [0,1) value from src with the exact formula
+// (*rand.Rand).Float64 uses, so mixing PCGFloat64 calls with Float64 calls
+// on a rand.Rand wrapping the same PCG yields one consistent stream.
+func PCGFloat64(src *rand.PCG) float64 {
+	return float64(src.Uint64()<<11>>11) / (1 << 53)
+}
+
 // NewSeeded returns a generator from a single int seed, convenient for
 // experiment configs.
 func NewSeeded(seed int64) *rand.Rand {
