@@ -37,7 +37,7 @@
 // per back-end codec and per pipeline stage — and writes a machine-readable
 // report (schema compso/bench-perf/v1):
 //
-//	compso-bench perf                   # full run, writes BENCH_PR5.json
+//	compso-bench perf                   # full run, writes BENCH_PR6.json
 //	compso-bench perf -quick -out p.json # CI-sized smoke run
 //	compso-bench perf -validate p.json  # schema-check an existing report
 package main

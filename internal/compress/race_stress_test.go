@@ -1,0 +1,174 @@
+package compress
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"compso/internal/encoding"
+	"compso/internal/xrand"
+)
+
+// Race-audit lock-in for the concurrency contract internal/serve builds on:
+// a compressor INSTANCE is single-threaded (stateful RNG stream, EF
+// residual), but any number of instances may run concurrently because the
+// only state they share — the pool arenas and the codec registry — is
+// race-safe or read-only. The audit found no package-level mutable state in
+// compress/encoding/quant; this suite keeps it that way by hammering every
+// family × codec combination from many goroutines under -race. A future
+// "optimization" that caches scratch in a package var instead of the pool
+// fails here immediately.
+
+// raceCompressors builds one fresh instance per goroutine for every family
+// and (for COMPSO) every registered lossless back-end.
+func raceCompressors(seed int64) []Compressor {
+	var out []Compressor
+	for _, name := range encoding.Names() {
+		cdc, err := encoding.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		c := NewCOMPSO(seed)
+		c.Codec = cdc
+		out = append(out, c)
+	}
+	out = append(out,
+		NewQSGD(4, seed),
+		NewSZ(1e-3),
+		NewCocktailSGD(0.04, 8, seed),
+		NewErrorFeedback(NewCOMPSO(seed)),
+	)
+	return out
+}
+
+// TestConcurrentInstancesAreRaceFree runs many goroutines, each owning a
+// private instance of every compressor family, all compressing and
+// decompressing simultaneously through the shared pool arenas.
+func TestConcurrentInstancesAreRaceFree(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 6
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := xrand.NewSeeded(int64(g) + 1)
+			comps := raceCompressors(int64(g) + 1)
+			for r := 0; r < rounds; r++ {
+				n := 1024 << (r % 3) // vary size classes to churn the arenas
+				src := make([]float32, n)
+				xrand.KFACGradient(rng, src, 1.0)
+				for _, c := range comps {
+					if ef, ok := c.(*ErrorFeedback); ok {
+						ef.Reset() // EF residuals are per-length; sizes vary per round
+					}
+					blob, err := c.Compress(src)
+					if err != nil {
+						errs <- fmt.Errorf("g%d r%d %s compress: %w", g, r, c.Name(), err)
+						return
+					}
+					vals, err := c.Decompress(blob)
+					if err != nil {
+						errs <- fmt.Errorf("g%d r%d %s decompress: %w", g, r, c.Name(), err)
+						return
+					}
+					if len(vals) != n {
+						errs <- fmt.Errorf("g%d r%d %s: %d values, want %d", g, r, c.Name(), len(vals), n)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInstancesAreDeterministic is the sharper check: concurrent
+// execution must not perturb any instance's RNG stream. Every goroutine
+// seeds identically, so every goroutine must produce bit-identical blobs —
+// cross-talk through hidden shared state shows up as divergence even when
+// it doesn't trip the race detector.
+func TestConcurrentInstancesAreDeterministic(t *testing.T) {
+	const goroutines = 8
+	src := make([]float32, 4096)
+	xrand.KFACGradient(xrand.NewSeeded(7), src, 1.0)
+
+	blobs := make([][][]byte, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, c := range raceCompressors(42) {
+				blob, err := c.Compress(src)
+				if err != nil {
+					t.Errorf("g%d %s: %v", g, c.Name(), err)
+					return
+				}
+				blobs[g] = append(blobs[g], blob)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for g := 1; g < goroutines; g++ {
+		if len(blobs[g]) != len(blobs[0]) {
+			t.Fatalf("goroutine %d produced %d blobs, want %d", g, len(blobs[g]), len(blobs[0]))
+		}
+		for i := range blobs[g] {
+			if string(blobs[g][i]) != string(blobs[0][i]) {
+				t.Fatalf("goroutine %d, compressor %d: blob differs from goroutine 0 — hidden shared state", g, i)
+			}
+		}
+	}
+}
+
+// TestSharedBlobConcurrentDecompress decompresses the SAME blob bytes from
+// many goroutines at once (each with its own instance): decoders must treat
+// their input as read-only.
+func TestSharedBlobConcurrentDecompress(t *testing.T) {
+	src := make([]float32, 8192)
+	xrand.KFACGradient(xrand.NewSeeded(9), src, 1.0)
+	enc := NewCOMPSO(5)
+	blob, err := enc.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewCOMPSO(5).Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dec := NewCOMPSO(5)
+			for r := 0; r < 4; r++ {
+				vals, err := dec.Decompress(blob)
+				if err != nil {
+					t.Errorf("g%d: %v", g, err)
+					return
+				}
+				for i := range vals {
+					if vals[i] != want[i] {
+						t.Errorf("g%d: value %d differs — decoder mutated shared input?", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -259,6 +259,11 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		}
 	}
 
+	// Serve group: end-to-end rows through the compso-serve HTTP data plane.
+	if err := runServePerf(quick, add, rep); err != nil {
+		return nil, err
+	}
+
 	for _, pair := range [][2]string{
 		{"compso/compress", "compso"},
 		{"compso/decompress", "compso"},

@@ -1,0 +1,135 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+)
+
+// The debug-mode tests exercise the three detections the serve layer relies
+// on — double-Put, use-after-Put, and leak accounting — and then prove the
+// tracker is inert when disabled.
+
+func mustPanic(t *testing.T, want string, fn func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", want)
+		}
+		msg, _ = r.(string)
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+	return
+}
+
+func TestDebugDoublePutPanics(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	b := Bytes(100)
+	PutBytes(b)
+	msg := mustPanic(t, "double Put", func() { PutBytes(b) })
+	if !strings.Contains(msg, "already pooled at [") {
+		t.Fatalf("double-Put panic should carry the first Put site, got %q", msg)
+	}
+}
+
+func TestDebugDoublePutAcrossArenas(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	f := F32(64)
+	PutF32(f)
+	mustPanic(t, "double Put", func() { PutF32(f) })
+}
+
+func TestDebugUseAfterPutPanics(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	s := Bytes(128)
+	PutBytes(s)
+	// A stale reference writes into the pooled buffer…
+	s[:cap(s)][5] = 42
+	// …which the detector catches when the buffer transitions back to live.
+	mustPanic(t, "use-after-Put", func() { debugGetPooled(s) })
+}
+
+func TestDebugUseAfterPutViaArena(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	s := U32(64)
+	k := dataKey(s)
+	PutU32(s)
+	s[:cap(s)][0] = 7
+	// The next arena Get of this class normally surfaces the poisoned
+	// buffer from the current P's private slot; if the scheduler moved us,
+	// the corrupted buffer stays pooled and the direct-check test above
+	// still covers the detection.
+	defer func() {
+		if r := recover(); r != nil {
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "use-after-Put") {
+				t.Fatalf("unexpected panic %v", r)
+			}
+			return
+		}
+	}()
+	got := U32(64)
+	if dataKey(got) == k {
+		t.Fatalf("corrupted buffer returned live without use-after-Put panic")
+	}
+}
+
+func TestDebugLeakAccounting(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	base := Stats()
+	a := Bytes(200)
+	b := F64(300)
+	mid := Stats()
+	if mid.Live != base.Live+2 {
+		t.Fatalf("live after two gets: %d, want %d", mid.Live, base.Live+2)
+	}
+	PutBytes(a)
+	PutF64(b)
+	end := Stats()
+	if end.Live != base.Live {
+		t.Fatalf("live after puts: %d, want baseline %d (leak)", end.Live, base.Live)
+	}
+	if end.Pooled < 2 {
+		t.Fatalf("pooled after puts: %d, want >= 2", end.Pooled)
+	}
+}
+
+func TestDebugDisabledIsInert(t *testing.T) {
+	SetDebug(false)
+	b := Bytes(100)
+	PutBytes(b)
+	PutBytes(b) // double Put: undetected when disabled
+	// Drain both aliased copies so the corrupted arena state cannot leak
+	// into later tests.
+	_ = Bytes(100)
+	_ = Bytes(100)
+	if s := Stats(); s.Live != 0 || s.Pooled != 0 {
+		t.Fatalf("disabled tracker should report zero stats, got %+v", s)
+	}
+}
+
+func TestDebugOversizedBuffersUntracked(t *testing.T) {
+	SetDebug(true)
+	defer SetDebug(false)
+
+	base := Stats()
+	// Above the max size class: plain make, never pooled, never tracked.
+	big := Bytes(1<<24 + 1)
+	PutBytes(big)
+	PutBytes(big)
+	if s := Stats(); s.Live != base.Live {
+		t.Fatalf("oversized buffer affected tracking: %+v vs %+v", s, base)
+	}
+}

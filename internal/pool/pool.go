@@ -65,9 +65,17 @@ func (a *arena[T]) get(n int) []T {
 		return make([]T, n)
 	}
 	if v := a.classes[c].Get(); v != nil {
-		return (*(v.(*[]T)))[:n]
+		s := (*(v.(*[]T)))[:n]
+		if debugEnabled.Load() {
+			debugGetPooled(s)
+		}
+		return s
 	}
-	return make([]T, n, classCap(c))
+	s := make([]T, n, classCap(c))
+	if debugEnabled.Load() {
+		debugGetFresh(s)
+	}
+	return s
 }
 
 // put returns a buffer obtained from get. Buffers whose capacity does not
@@ -76,6 +84,9 @@ func (a *arena[T]) put(s []T) {
 	c := classFor(cap(s))
 	if c < 0 || cap(s) != classCap(c) {
 		return
+	}
+	if debugEnabled.Load() {
+		debugPut(s)
 	}
 	s = s[:0]
 	a.classes[c].Put(&s)

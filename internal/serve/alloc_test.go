@@ -1,0 +1,76 @@
+//go:build !race
+
+package serve_test
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"compso/internal/serve"
+)
+
+// Steady-state allocation guard for the data plane: once the buffer arena is
+// warm, one compress request costs the compressor's own handful of allocs
+// plus fixed HTTP bookkeeping (request/recorder objects, header maps,
+// response buffer growth) — independent of gradient size. The bound is loose
+// against scheduler noise but far below a per-element or per-stage copy
+// regime; a pooled-buffer regression (readPooledBody or the response path
+// dropping the arena) blows straight past it.
+// (Excluded under -race: detector instrumentation skews alloc counts.)
+func TestServeCompressSteadyStateAllocs(t *testing.T) {
+	s := serve.New(serve.Config{})
+	id := createSession(t, s, serve.SessionConfig{Seed: 3})
+	h := s.Handler()
+	body := f32Bytes(grad(1<<16, 3))
+	path := "/v1/sessions/" + id + "/compress"
+
+	run := func() {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	for i := 0; i < 8; i++ { // warm the arena and the recorder growth path
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 96 {
+		t.Fatalf("serve compress steady state: %.1f allocs/op, want <= 96", allocs)
+	}
+}
+
+func TestServeDecompressSteadyStateAllocs(t *testing.T) {
+	s := serve.New(serve.Config{})
+	id := createSession(t, s, serve.SessionConfig{Seed: 3})
+	h := s.Handler()
+
+	creq := httptest.NewRequest("POST", "/v1/sessions/"+id+"/compress",
+		bytes.NewReader(f32Bytes(grad(1<<16, 3))))
+	crec := httptest.NewRecorder()
+	h.ServeHTTP(crec, creq)
+	if crec.Code != http.StatusOK {
+		t.Fatalf("compress: %d", crec.Code)
+	}
+	blob := append([]byte(nil), crec.Body.Bytes()...)
+	path := "/v1/sessions/" + id + "/decompress"
+
+	run := func() {
+		req := httptest.NewRequest("POST", path, bytes.NewReader(blob))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		run()
+	}
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 96 {
+		t.Fatalf("serve decompress steady state: %.1f allocs/op, want <= 96", allocs)
+	}
+}

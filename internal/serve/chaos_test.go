@@ -1,0 +1,107 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"compso/internal/fault"
+	"compso/internal/serve"
+)
+
+// TestCorruptedPayloadsNeverPanic drives every compressor family with
+// corrupted, truncated and garbage decompress payloads. The contract under
+// test: a hostile body is a clean 4xx, the handler never panics, and the
+// session keeps working afterwards.
+func TestCorruptedPayloadsNeverPanic(t *testing.T) {
+	families := []serve.SessionConfig{
+		{Compressor: "compso", Seed: 1},
+		{Compressor: "compso", Codec: "zstd", Seed: 2},
+		{Compressor: "qsgd", Seed: 3},
+		{Compressor: "sz"},
+		{Compressor: "cocktail", Seed: 4},
+	}
+	inj, err := fault.NewInjector(&fault.Plan{Seed: 99, Corruption: fault.Corruption{Rate: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := newServer(t, serve.Config{})
+	for fi, cfg := range families {
+		cfg.Tenant = "chaos"
+		id := createSession(t, s, cfg)
+		g := grad(2048, int64(fi+10))
+		rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(g), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: compress status %d: %s", cfg.Compressor, rec.Code, rec.Body)
+		}
+		blob := append([]byte(nil), rec.Body.Bytes()...)
+
+		payloads := map[string][]byte{
+			"empty":     {},
+			"garbage":   {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03},
+			"truncated": blob[:len(blob)/2],
+		}
+		if mut, ok := inj.CorruptBlob(blob, fi, 0, 0); ok {
+			payloads["bitflip"] = mut
+		}
+		for name, p := range payloads {
+			dec := do(t, s, "POST", "/v1/sessions/"+id+"/decompress", p, nil)
+			// A bit-flipped blob can occasionally still decode (flip in
+			// payload data, not structure); that is lossy-but-valid, not a
+			// failure. Structural garbage must be rejected.
+			if name == "bitflip" && dec.Code == http.StatusOK {
+				continue
+			}
+			if dec.Code < 400 || dec.Code >= 500 {
+				t.Errorf("%s/%s: status %d, want 4xx (body: %s)",
+					cfg.Compressor, name, dec.Code, dec.Body)
+			}
+		}
+
+		// The session survives hostile input: the valid blob still decodes.
+		dec := do(t, s, "POST", "/v1/sessions/"+id+"/decompress", blob, nil)
+		if dec.Code != http.StatusOK {
+			t.Fatalf("%s: session broken after chaos: status %d: %s",
+				cfg.Compressor, dec.Code, dec.Body)
+		}
+	}
+
+	m := do(t, s, "GET", "/metrics", nil, nil)
+	var payload struct {
+		Counters map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(m.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := payload.Counters["serve/panics"]; n != 0 {
+		t.Fatalf("%g handler panics recorded", n)
+	}
+	if payload.Counters["serve/tenant/chaos/errors"] == 0 {
+		t.Fatal("chaos rejections not counted in tenant error metric")
+	}
+}
+
+// TestMalformedSessionConfigs covers hostile control-plane bodies.
+func TestMalformedSessionConfigs(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	for name, body := range map[string][]byte{
+		"not-json":         []byte("{{{"),
+		"bad-compressor":   []byte(`{"compressor":"lz4"}`),
+		"bad-codec":        []byte(`{"codec":"no-such"}`),
+		"bad-bits":         []byte(`{"compressor":"qsgd","bits":64}`),
+		"bad-keep":         []byte(`{"compressor":"cocktail","keep":2.0}`),
+		"negative-eb":      []byte(`{"eb_filter":-1}`),
+		"adapt-non-compso": []byte(`{"compressor":"qsgd","adapt":{"total_iters":10}}`),
+		"adapt-zero-iters": []byte(`{"adapt":{"total_iters":0}}`),
+		"adapt-bad-sched":  []byte(`{"adapt":{"schedule":"cosine","total_iters":10}}`),
+	} {
+		rec := do(t, s, "POST", "/v1/sessions", body, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (body: %s)", name, rec.Code, rec.Body)
+		}
+	}
+	if n := s.SessionCount(); n != 0 {
+		t.Fatalf("%d sessions leaked from rejected configs", n)
+	}
+}

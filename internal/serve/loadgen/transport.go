@@ -1,0 +1,67 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// HandlerTransport returns an http.RoundTripper that invokes h in-process
+// instead of dialing: each RoundTrip calls h.ServeHTTP on the goroutine of
+// the caller, with the real request object. Responses are materialized in
+// memory. This is how the smoke mode, the 1000-session CI test and the perf
+// harness drive compso-serve without TCP connections or file descriptors —
+// concurrency is bounded only by goroutines, exactly like the production
+// handler under a real listener.
+func HandlerTransport(h http.Handler) http.RoundTripper {
+	return handlerTransport{h: h}
+}
+
+type handlerTransport struct{ h http.Handler }
+
+// RoundTrip implements http.RoundTripper.
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	if req.Body != nil {
+		req.Body.Close()
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", rec.code, http.StatusText(rec.code)),
+		StatusCode:    rec.code,
+		Proto:         req.Proto,
+		ProtoMajor:    req.ProtoMajor,
+		ProtoMinor:    req.ProtoMinor,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.body.Bytes())),
+		ContentLength: int64(rec.body.Len()),
+		Request:       req,
+	}, nil
+}
+
+// responseRecorder is a minimal http.ResponseWriter (the stdlib's
+// httptest.ResponseRecorder equivalent, local so the production binary does
+// not link net/http/httptest).
+type responseRecorder struct {
+	header      http.Header
+	body        bytes.Buffer
+	code        int
+	wroteHeader bool
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if !r.wroteHeader {
+		r.code = code
+		r.wroteHeader = true
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	if !r.wroteHeader {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"compso/internal/obs"
+)
+
+// Metric names are namespaced "serve/..." for server-wide series and
+// "serve/tenant/<name>/..." for per-tenant series, following the obs
+// layer's slash-path convention. Handles are resolved once (per server or
+// per tenant) and cached so the request hot path never takes the recorder's
+// registry lock.
+
+// serverMetrics are the server-wide handles.
+type serverMetrics struct {
+	requests        *obs.Counter // all data-plane requests admitted
+	shedRequests    *obs.Counter // data-plane requests shed with 429
+	shedSessions    *obs.Counter // session creates shed with 429
+	sessionsCreated *obs.Counter
+	sessionsReaped  *obs.Counter
+	errors          *obs.Counter // 4xx client errors on the data plane
+	panics          *obs.Counter // handler panics converted to 500
+	sessionsLive    *obs.Gauge
+	inflight        *obs.Gauge
+}
+
+func newServerMetrics(r *obs.Recorder) serverMetrics {
+	return serverMetrics{
+		requests:        r.Counter("serve/requests"),
+		shedRequests:    r.Counter("serve/shed/requests"),
+		shedSessions:    r.Counter("serve/shed/sessions"),
+		sessionsCreated: r.Counter("serve/sessions/created"),
+		sessionsReaped:  r.Counter("serve/sessions/reaped"),
+		errors:          r.Counter("serve/errors"),
+		panics:          r.Counter("serve/panics"),
+		sessionsLive:    r.Gauge("serve/sessions/live"),
+		inflight:        r.Gauge("serve/inflight"),
+	}
+}
+
+// tenantMetrics are one tenant's handles: throughput, compression ratio,
+// latency distributions and shed counts.
+type tenantMetrics struct {
+	compressCalls   *obs.Counter
+	decompressCalls *obs.Counter
+	bytesIn         *obs.Counter
+	bytesOut        *obs.Counter
+	errors          *obs.Counter
+	shed            *obs.Counter
+	ratio           *obs.Histogram
+	compressLat     *obs.Histogram
+	decompressLat   *obs.Histogram
+}
+
+func newTenantMetrics(r *obs.Recorder, tenant string) tenantMetrics {
+	p := "serve/tenant/" + tenant + "/"
+	return tenantMetrics{
+		compressCalls:   r.Counter(p + "compress/calls"),
+		decompressCalls: r.Counter(p + "decompress/calls"),
+		bytesIn:         r.Counter(p + "bytes_in"),
+		bytesOut:        r.Counter(p + "bytes_out"),
+		errors:          r.Counter(p + "errors"),
+		shed:            r.Counter(p + "shed"),
+		ratio:           r.Histogram(p + "compress/ratio"),
+		compressLat:     r.Histogram(p + "compress/latency_s"),
+		decompressLat:   r.Histogram(p + "decompress/latency_s"),
+	}
+}
+
+// handleMetrics serves the full obs metrics snapshot as JSON — the same
+// schema compso-bench's -metrics flag writes, so existing tooling parses it
+// unchanged.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.obs.WriteMetricsJSON(w); err != nil {
+		// Headers are gone; nothing to do but note it.
+		s.m.errors.Inc()
+	}
+}
+
+// healthPayload is the /healthz response body.
+type healthPayload struct {
+	Status   string `json:"status"`
+	Sessions int    `json:"sessions"`
+	Inflight int    `json:"inflight"`
+	Draining bool   `json:"draining"`
+}
+
+// handleHealthz reports liveness and the admission state; a draining server
+// answers 503 so load balancers stop routing to it during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.Draining()
+	p := healthPayload{
+		Status:   "ok",
+		Sessions: s.SessionCount(),
+		Inflight: s.adm.Inflight(),
+		Draining: draining,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		p.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(p)
+}
