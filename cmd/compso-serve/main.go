@@ -52,6 +52,7 @@ func serveMain(args []string) {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent data-plane requests (0 = 8×GOMAXPROCS)")
 	maxTenantInflight := fs.Int("tenant-inflight", 0, "max concurrent requests per tenant (0 = global cap)")
 	maxElements := fs.Int("max-elements", 0, "max gradient elements per request (0 = 1<<24)")
+	maxTenants := fs.Int("max-tenants", 0, "max distinct tenant names (0 = max-sessions)")
 	idleTimeout := fs.Duration("idle-timeout", 10*time.Minute, "reap sessions idle longer than this (0 disables)")
 	reapEvery := fs.Duration("reap-interval", 30*time.Second, "idle-reaper period")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain budget")
@@ -67,6 +68,7 @@ func serveMain(args []string) {
 		MaxInflight:       *maxInflight,
 		MaxTenantInflight: *maxTenantInflight,
 		MaxElements:       *maxElements,
+		MaxTenants:        *maxTenants,
 	}
 
 	if *smoke {

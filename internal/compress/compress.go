@@ -33,6 +33,11 @@ type Compressor interface {
 // ErrCorrupt is wrapped by all decompressors on malformed input.
 var ErrCorrupt = errors.New("compress: corrupt input")
 
+// ErrLengthMismatch marks a stateful compressor fed a gradient whose length
+// differs from the length its stream state was built for (e.g. an
+// error-feedback residual). It is a caller error, not an internal fault.
+var ErrLengthMismatch = errors.New("compress: gradient length mismatch")
+
 // Magic bytes distinguishing the compressor formats; the first header byte
 // of every compressed buffer.
 const (
@@ -70,6 +75,24 @@ func getHeader(src []byte, magic byte, name string) (n int, rest []byte, err err
 		return 0, nil, fmt.Errorf("%w: %s: bad element count", ErrCorrupt, name)
 	}
 	return int(v), src[1+used:], nil
+}
+
+// PeekElements parses the common blob header — magic byte plus uvarint
+// element count — without decoding the payload. Every decoder sizes its
+// output and scratch buffers from this untrusted count, so servers must
+// enforce their element caps on the peeked value before calling Decompress;
+// the count alone can demand gigabytes from a blob a few dozen bytes long.
+func PeekElements(data []byte) (int, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("%w: empty buffer", ErrCorrupt)
+	}
+	switch data[0] {
+	case magicQSGD, magicSZ, magicCocktail, magicCOMPSO:
+	default:
+		return 0, fmt.Errorf("%w: unknown magic byte %#x", ErrCorrupt, data[0])
+	}
+	n, _, err := getHeader(data, data[0], "blob")
+	return n, err
 }
 
 func putFloat64(dst []byte, v float64) []byte {

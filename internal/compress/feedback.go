@@ -34,7 +34,7 @@ func (e *ErrorFeedback) Name() string { return e.Inner.Name() + "+EF" }
 // the new residual. The input slice is not modified.
 func (e *ErrorFeedback) Compress(src []float32) ([]byte, error) {
 	if e.residual != nil && len(e.residual) != len(src) {
-		return nil, fmt.Errorf("compress: EF residual length %d, input %d", len(e.residual), len(src))
+		return nil, fmt.Errorf("%w: EF residual length %d, input %d", ErrLengthMismatch, len(e.residual), len(src))
 	}
 	corrected := make([]float32, len(src))
 	copy(corrected, src)

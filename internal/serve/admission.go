@@ -73,19 +73,25 @@ func newAdmission(cfg Config) *admission {
 	return a
 }
 
-// tenant returns the tenant's ledger, creating it on first sight.
-func (a *admission) tenant(name string) *tenantState {
+// tenant returns the tenant's ledger, creating it on first sight. Tenant
+// names are unauthenticated client input and each ledger pins metric series
+// for the server's lifetime, so creation beyond cfg.MaxTenants is refused
+// (second return false) and the caller sheds the request.
+func (a *admission) tenant(name string) (*tenantState, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	ts, ok := a.tenants[name]
 	if !ok {
+		if len(a.tenants) >= a.cfg.MaxTenants {
+			return nil, false
+		}
 		ts = &tenantState{name: name}
 		ts.sessions.cap = a.cfg.MaxTenantSessions
 		ts.inflight.cap = a.cfg.MaxTenantInflight
 		ts.m = newTenantMetrics(a.cfg.Obs, name)
 		a.tenants[name] = ts
 	}
-	return ts
+	return ts, true
 }
 
 // acquireSession claims a session slot globally and for the tenant.

@@ -110,7 +110,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		return newSession(id, cfg)
 	})
 	if errors.Is(err, errShed) {
-		s.shed(w, "session limit reached")
+		s.shed(w, "session admission limit reached")
 		return
 	}
 	if err != nil {
@@ -166,11 +166,12 @@ func (s *Server) dataPlane(w http.ResponseWriter, r *http.Request, op func(*Serv
 		return
 	}
 	defer s.leave()
-	sess, ok := s.lookupSession(r.PathValue("id"))
+	sess, ok := s.pinSession(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown session")
 		return
 	}
+	defer sess.inflight.Add(-1)
 	ts := sess.ts
 	if !s.adm.acquireRequest(ts) {
 		s.m.shedRequests.Inc()
@@ -180,9 +181,6 @@ func (s *Server) dataPlane(w http.ResponseWriter, r *http.Request, op func(*Serv
 	}
 	defer s.adm.releaseRequest(ts)
 	s.m.inflight.Set(float64(s.adm.Inflight()))
-	sess.inflight.Add(1)
-	defer sess.inflight.Add(-1)
-	sess.touch()
 	s.m.requests.Inc()
 	op(s, w, r, sess)
 }
@@ -258,6 +256,25 @@ func (s *Server) doDecompress(w http.ResponseWriter, r *http.Request, sess *Sess
 	}
 	defer pool.PutBytes(body)
 
+	// The decoders size their output and scratch from the blob's
+	// element-count header, so the cap must hold before Decompress
+	// allocates: a crafted ~30-byte header must not be able to demand
+	// gigabytes per request.
+	n, err := compress.PeekElements(body)
+	if err != nil {
+		ts.m.errors.Inc()
+		s.m.errors.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if n > s.cfg.MaxElements {
+		ts.m.errors.Inc()
+		s.m.errors.Inc()
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("blob declares %d elements, above the %d cap", n, s.cfg.MaxElements))
+		return
+	}
+
 	vals, err := sess.decompress(body)
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -270,13 +287,6 @@ func (s *Server) doDecompress(w http.ResponseWriter, r *http.Request, sess *Sess
 		ts.m.errors.Inc()
 		s.m.errors.Inc()
 		writeError(w, code, err.Error())
-		return
-	}
-	if len(vals) > s.cfg.MaxElements {
-		ts.m.errors.Inc()
-		s.m.errors.Inc()
-		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("blob decodes to %d elements, above the %d cap", len(vals), s.cfg.MaxElements))
 		return
 	}
 	ts.m.decompressCalls.Inc()
@@ -344,16 +354,24 @@ func readPooledBody(r *http.Request, maxBytes int) ([]byte, int, error) {
 		}
 		return buf, 0, nil
 	}
-	// Unknown length (chunked): grow through pooled buffers.
+	// Unknown length (chunked): grow through pooled buffers. Capacity growth
+	// stops at maxBytes+1 — one byte of headroom past the cap — so a body of
+	// exactly maxBytes reads through to its terminal EOF instead of being
+	// rejected at a power-of-two boundary, while anything longer fills the
+	// headroom and is rejected without further growth.
 	buf := pool.Bytes(64 << 10)[:0]
 	for {
 		if len(buf) == cap(buf) {
-			if 2*cap(buf) > maxBytes+4096 {
+			if len(buf) > maxBytes {
 				pool.PutBytes(buf)
 				return nil, http.StatusRequestEntityTooLarge,
 					fmt.Errorf("body exceeds the %d-byte cap", maxBytes)
 			}
-			next := pool.Bytes(2 * cap(buf))[:len(buf)]
+			grown := 2 * cap(buf)
+			if grown > maxBytes+1 {
+				grown = maxBytes + 1
+			}
+			next := pool.Bytes(grown)[:len(buf)]
 			copy(next, buf)
 			pool.PutBytes(buf)
 			buf = next

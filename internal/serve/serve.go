@@ -64,6 +64,12 @@ type Config struct {
 	// MaxElements caps the per-request gradient length (default 1<<24,
 	// matching the pool's largest size class).
 	MaxElements int
+	// MaxTenants caps the number of distinct tenant names the server will
+	// materialize state (admission ledgers, metric series) for; session
+	// creates naming a new tenant beyond the cap are shed with 429. Tenant
+	// names are unauthenticated client input, so without a ceiling they are
+	// a slow memory-exhaustion vector (default MaxSessions).
+	MaxTenants int
 	// RetryAfter is the client backoff advertised on shed requests
 	// (default 1s; rounded up to whole seconds on the wire).
 	RetryAfter time.Duration
@@ -87,6 +93,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxElements <= 0 {
 		c.MaxElements = 1 << 24
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = c.MaxSessions
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -209,10 +218,31 @@ func (s *Server) lookupSession(id string) (*Session, bool) {
 	return sess, ok
 }
 
+// pinSession looks up the session and, under the same read lock, marks it
+// in-flight and fresh. ReapIdle decides under the write lock, so a request
+// that has pinned can never have its session reaped out from under it
+// between lookup and first use; the caller must sess.inflight.Add(-1) when
+// done.
+func (s *Server) pinSession(id string) (*Session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return nil, false
+	}
+	sess.inflight.Add(1)
+	sess.touch()
+	return sess, true
+}
+
 // registerSession admits and installs a new session built by build. The
 // admission slot is taken before build runs and released if it fails.
 func (s *Server) registerSession(tenant string, build func(id string) (*Session, error)) (*Session, error) {
-	ts := s.adm.tenant(tenant)
+	ts, ok := s.adm.tenant(tenant)
+	if !ok {
+		s.m.shedSessions.Inc()
+		return nil, errShed
+	}
 	if !s.adm.acquireSession(ts) {
 		s.m.shedSessions.Inc()
 		ts.m.shed.Inc()
@@ -262,20 +292,27 @@ func (s *Server) ReapIdle(olderThan time.Duration) int {
 		return 0
 	}
 	cutoff := time.Now().Add(-olderThan).UnixNano()
-	s.mu.RLock()
-	var idle []string
+	// The write lock excludes pinSession, making the idleness check and the
+	// map removal one atomic decision: a request that already pinned shows
+	// inflight > 0 here, and one that has not yet pinned will miss the map
+	// and get a clean 404 — never a session closed mid-request.
+	s.mu.Lock()
+	var idle []*Session
 	for id, sess := range s.sessions {
 		if sess.lastUsed.Load() < cutoff && sess.inflight.Load() == 0 {
-			idle = append(idle, id)
+			delete(s.sessions, id)
+			idle = append(idle, sess)
 		}
 	}
-	s.mu.RUnlock()
-	reaped := 0
-	for _, id := range idle {
-		if s.closeSession(id) {
-			reaped++
-			s.m.sessionsReaped.Inc()
-		}
+	n := len(s.sessions)
+	s.mu.Unlock()
+	for _, sess := range idle {
+		sess.close()
+		s.adm.releaseSession(sess.ts)
+		s.m.sessionsReaped.Inc()
 	}
-	return reaped
+	if len(idle) > 0 {
+		s.m.sessionsLive.Set(float64(n))
+	}
+	return len(idle)
 }

@@ -9,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -179,10 +180,11 @@ func TestErrorFeedbackSession(t *testing.T) {
 			t.Fatalf("EF decompress %d: status %d", call, dec.Code)
 		}
 	}
-	// EF sessions require stable lengths; a different length is a clean 4xx.
+	// EF sessions require stable lengths; a different length is the client's
+	// mistake and must be a 400, never a 500.
 	rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(512, 1)), nil)
-	if rec.Code != http.StatusInternalServerError && rec.Code != http.StatusBadRequest {
-		t.Fatalf("EF length mismatch: status %d, want an error status", rec.Code)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("EF length mismatch: status %d, want 400", rec.Code)
 	}
 }
 
@@ -333,6 +335,94 @@ func TestOversizedBodyIs413(t *testing.T) {
 	rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(64, 1)), nil)
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", rec.Code)
+	}
+}
+
+// TestDecompressOversizedHeaderIs400 locks in the pre-decode element cap: a
+// tiny blob whose header declares a huge element count must be rejected with
+// 400 before the decoder allocates output sized by the untrusted header.
+func TestDecompressOversizedHeaderIs400(t *testing.T) {
+	s := newServer(t, serve.Config{MaxElements: 1 << 10})
+	id := createSession(t, s, serve.SessionConfig{})
+
+	// Magic 'O' (COMPSO) + uvarint element count claiming ~1<<30 elements
+	// (a 4GB float32 vector) in a blob a handful of bytes long.
+	blob := append([]byte{0x4f}, binary.AppendUvarint(nil, 1<<30)...)
+	blob = append(blob, make([]byte, 32)...)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	rec := do(t, s, "POST", "/v1/sessions/"+id+"/decompress", blob, nil)
+	runtime.ReadMemStats(&after)
+
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("oversized header: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "cap") {
+		t.Fatalf("oversized header: error body does not mention the cap: %s", rec.Body)
+	}
+	// The request must not have allocated anywhere near what the header
+	// demanded (4GB output + 128MB bitmap); 16MB of slack covers test noise.
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 16<<20 {
+		t.Fatalf("oversized header allocated %d bytes before rejection", delta)
+	}
+
+	// Garbage magic bytes are an equally clean 400.
+	rec = do(t, s, "POST", "/v1/sessions/"+id+"/decompress", []byte{0xFF, 0x01, 0x02}, nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad magic: status %d, want 400", rec.Code)
+	}
+}
+
+// TestTenantCapShedsNewTenants locks in the distinct-tenant ceiling: random
+// tenant names must not grow server state without bound.
+func TestTenantCapShedsNewTenants(t *testing.T) {
+	s := newServer(t, serve.Config{MaxTenants: 2})
+	createSession(t, s, serve.SessionConfig{Tenant: "a"})
+	createSession(t, s, serve.SessionConfig{Tenant: "b"})
+
+	body, _ := json.Marshal(serve.SessionConfig{Tenant: "c"})
+	rec := do(t, s, "POST", "/v1/sessions", body, nil)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("third tenant: status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("tenant shed without Retry-After")
+	}
+	// Known tenants are unaffected by the cap.
+	createSession(t, s, serve.SessionConfig{Tenant: "a"})
+
+	// The shed tenant must not have gained metric series.
+	m := do(t, s, "GET", "/metrics", nil, nil)
+	if strings.Contains(m.Body.String(), "serve/tenant/c/") {
+		t.Fatal("shed tenant still materialized metric series")
+	}
+}
+
+// TestChunkedBodyExactlyAtCapAccepted covers the growth-boundary edge: a
+// chunked body of exactly maxBytes (here 128KiB, a power-of-two boundary of
+// the 64KiB starting buffer) must be accepted, matching the Content-Length
+// path.
+func TestChunkedBodyExactlyAtCapAccepted(t *testing.T) {
+	const maxElements = 32 << 10 // maxBytes = 4*maxElements = 128KiB
+	s := newServer(t, serve.Config{MaxElements: maxElements})
+	id := createSession(t, s, serve.SessionConfig{})
+
+	post := func(n int) *httptest.ResponseRecorder {
+		req := httptest.NewRequest("POST", "/v1/sessions/"+id+"/compress",
+			bytes.NewReader(f32Bytes(grad(n, 1))))
+		req.ContentLength = -1 // force the chunked read path
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		return rec
+	}
+
+	if rec := post(maxElements); rec.Code != http.StatusOK {
+		t.Fatalf("chunked body of exactly maxBytes: status %d, want 200: %s", rec.Code, rec.Body)
+	}
+	if rec := post(maxElements + 1); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("chunked body one element over: status %d, want 413", rec.Code)
 	}
 }
 

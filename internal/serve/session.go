@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -278,6 +279,11 @@ func (s *Session) compress(src []float32, codecOverride string) ([]byte, error) 
 	}
 	blob, err := s.comp.Compress(src)
 	if err != nil {
+		// A gradient whose length breaks the stream's established shape
+		// (the EF residual contract) is the client's mistake, not ours.
+		if errors.Is(err, compress.ErrLengthMismatch) {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
 		return nil, err
 	}
 	s.compressCalls.Add(1)
