@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"compso/internal/experiments"
+)
+
+// lowrankMain implements "compso-bench lowrank": run the low-rank family
+// judge and, with -validate, enforce the acceptance bar (the planned mix
+// wins compression ratio on >= 2 modelzoo profiles at equal-or-better
+// simulated step time) plus the perf harness's low-rank rows.
+func lowrankMain(args []string) {
+	fs := flag.NewFlagSet("lowrank", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smaller gradient samples and convergence budget (CI smoke)")
+	jsonPath := fs.String("json", "", "write the machine-readable judge report to this file")
+	validate := fs.Bool("validate", false,
+		"fail unless the judge's acceptance bar holds and a quick perf run emits the powersgd rows")
+	fs.Parse(args)
+
+	rep, tb, err := experiments.LowRankJudge(*quick)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lowrank: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(tb)
+	c := rep.Convergence
+	fmt.Printf("ring-path convergence (%s, %d iters, SGD): compso loss %.4f, powersgd loss %.4f, powersgd CR %.1fx\n",
+		c.Model, c.Iters, c.CompsoLoss, c.PowerSGDLoss, c.PowerSGDCR)
+
+	if *validate {
+		if err := rep.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank validate: %v\n", err)
+			os.Exit(1)
+		}
+		perf, err := experiments.RunPerf(true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank validate: perf: %v\n", err)
+			os.Exit(1)
+		}
+		blob, err := perf.MarshalIndent()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank validate: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidatePerf(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank validate: perf: %v\n", err)
+			os.Exit(1)
+		}
+		for _, name := range []string{"powersgd/compress", "powersgd/decompress"} {
+			found := false
+			for _, row := range perf.Rows {
+				if row.Name == name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "lowrank validate: perf harness missing row %q\n", name)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("validate: family plan wins >= 2 profiles; perf harness emits the powersgd rows")
+	}
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{"lowrank": rep}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "lowrank: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}

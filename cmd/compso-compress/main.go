@@ -7,7 +7,11 @@
 //
 //	compso-compress -in gradient.f32 -method compso -ebf 4e-3 -ebq 4e-3
 //	compso-compress -in gradient.f32 -method qsgd -bits 8
+//	compso-compress -in gradient.f32 -method powersgd -rank 4 -ef
 //	compso-compress -in gradient.f32 -method compso -codec Zstd -out out.bin
+//
+// Methods are resolved through the compressor registry, so any family in
+// compress.Families() works here, with -ef composing error feedback on top.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 	"time"
 
 	"compso/internal/compress"
@@ -27,13 +32,15 @@ func main() {
 	in := flag.String("in", "", "input file of little-endian float32 values (required)")
 	out := flag.String("out", "", "optional output file for the compressed buffer")
 	roundtrip := flag.String("roundtrip", "", "optional output file for the decompressed float32 values")
-	method := flag.String("method", "compso", "compressor: compso, qsgd, sz, cocktail")
+	method := flag.String("method", "compso", "compressor family: "+strings.Join(compress.Families(), ", "))
 	codecName := flag.String("codec", "ANS", "COMPSO back-end codec (see Table 2)")
-	ebf := flag.Float64("ebf", 4e-3, "COMPSO filter error bound")
+	ebf := flag.Float64("ebf", 4e-3, "COMPSO filter error bound (0 disables the filter)")
 	ebq := flag.Float64("ebq", 4e-3, "COMPSO quantizer error bound")
 	bits := flag.Int("bits", 8, "QSGD/CocktailSGD quantization bits")
 	keep := flag.Float64("keep", 0.2, "CocktailSGD keep fraction")
 	relEB := flag.Float64("releb", 4e-3, "SZ range-relative error bound")
+	rank := flag.Int("rank", 4, "PowerSGD factorization rank")
+	ef := flag.Bool("ef", false, "wrap the compressor with an error-feedback residual")
 	seed := flag.Int64("seed", 7, "stochastic rounding seed")
 	flag.Parse()
 
@@ -52,26 +59,30 @@ func main() {
 		values[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
 	}
 
-	var comp compress.Compressor
-	switch *method {
-	case "compso":
+	opts := compress.Options{
+		Seed:          *seed,
+		EBFilter:      *ebf,
+		EBQuant:       *ebq,
+		Bits:          *bits,
+		Keep:          *keep,
+		RelEB:         *relEB,
+		Rank:          *rank,
+		ErrorFeedback: *ef,
+	}
+	if *ebf <= 0 {
+		disabled := false
+		opts.Filter = &disabled
+	}
+	if family, err := compress.CanonicalFamily(*method); err == nil && family == "compso" {
 		codec, err := encoding.ByName(*codecName)
 		if err != nil {
 			fail("%v", err)
 		}
-		c := compress.NewCOMPSO(*seed)
-		c.EBFilter = *ebf
-		c.EBQuant = *ebq
-		c.Codec = codec
-		comp = c
-	case "qsgd":
-		comp = compress.NewQSGD(*bits, *seed)
-	case "sz":
-		comp = compress.NewSZ(*relEB)
-	case "cocktail":
-		comp = compress.NewCocktailSGD(*keep, *bits, *seed)
-	default:
-		fail("unknown method %q", *method)
+		opts.Codec = codec
+	}
+	comp, err := compress.ByName(*method, opts)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	start := time.Now()

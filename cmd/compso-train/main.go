@@ -10,7 +10,12 @@
 // Models: resnet, maskrcnn, bert, gpt, squad.
 // Optimizers: kfac (eigendecomposition), kfac-cholesky (KAISA implicit
 // inversion), sgd.
-// Compressors: none, compso, qsgd8, qsgd4, sz, cocktail.
+// Compressors: none, compso, qsgd8, qsgd4, sz, cocktail, powersgd,
+// powersgd-ef. All lossy families are built through the compressor
+// registry; powersgd under -optimizer sgd routes the gradient exchange
+// through the alternating-factor ring all-reduce (shared seed across
+// ranks keeps the factor state replicated), and powersgd-ef composes the
+// shared error-feedback wrapper on top.
 package main
 
 import (
@@ -34,7 +39,9 @@ import (
 func main() {
 	model := flag.String("model", "resnet", "proxy model: resnet, maskrcnn, bert, gpt, squad")
 	optimizer := flag.String("optimizer", "kfac", "optimizer: kfac, kfac-cholesky, or sgd")
-	compressor := flag.String("compressor", "compso", "compressor: none, compso, qsgd8, qsgd4, sz, cocktail")
+	compressor := flag.String("compressor", "compso",
+		"compressor: none, compso, qsgd8, qsgd4, sz, cocktail, powersgd, powersgd-ef")
+	lrRank := flag.Int("rank", 4, "PowerSGD factorization rank")
 	gpus := flag.Int("gpus", 4, "simulated GPU count")
 	iters := flag.Int("iters", 120, "training iterations")
 	seed := flag.Int64("seed", 42, "seed for model init, data and stochastic rounding")
@@ -95,19 +102,41 @@ func main() {
 	if *optimizer == "kfac-cholesky" {
 		cfg.KFAC.Inversion = kfac.CholeskyInverse
 	}
+	// Every lossy family is built through the compressor registry; the
+	// per-rank seed decorrelates stochastic rounding across workers, while
+	// the low-rank family shares one seed so its replicated factor state
+	// stays bit-identical (the ring all-reduce invariant).
+	registryComp := func(family string, o compress.Options) func(rank int) compress.Compressor {
+		return func(rank int) compress.Compressor {
+			o := o
+			if family != "powersgd" {
+				o.Seed = *seed + int64(rank)
+			}
+			c, err := compress.ByName(family, o)
+			if err != nil {
+				fail("%v", err)
+			}
+			return c
+		}
+	}
 	switch *compressor {
 	case "none":
 	case "compso":
 		cfg.NewCompressor = func(rank int) compress.Compressor { return compso.NewCompressor(nil, rank, *seed) }
 		cfg.Controller = compso.DefaultController(sched, *iters)
 	case "qsgd8":
-		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewQSGD(8, *seed+int64(rank)) }
+		cfg.NewCompressor = registryComp("qsgd", compress.Options{Bits: 8})
 	case "qsgd4":
-		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewQSGD(4, *seed+int64(rank)) }
+		cfg.NewCompressor = registryComp("qsgd", compress.Options{Bits: 4})
 	case "sz":
-		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewSZ(4e-3) }
+		cfg.NewCompressor = registryComp("sz", compress.Options{RelEB: 4e-3})
 	case "cocktail":
-		cfg.NewCompressor = func(rank int) compress.Compressor { return compress.NewCocktailSGD(0.2, 8, *seed+int64(rank)) }
+		cfg.NewCompressor = registryComp("cocktail", compress.Options{Keep: 0.2, Bits: 8})
+	case "powersgd":
+		cfg.NewCompressor = registryComp("powersgd", compress.Options{Seed: *seed, Rank: *lrRank})
+	case "powersgd-ef":
+		cfg.NewCompressor = registryComp("powersgd",
+			compress.Options{Seed: *seed, Rank: *lrRank, ErrorFeedback: true})
 	default:
 		fail("unknown compressor %q", *compressor)
 	}

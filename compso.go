@@ -101,24 +101,98 @@ type OnlineProfile = perfmodel.OnlineProfile
 // wrapper remains for existing callers.
 func NewCompressor(seed int64) *COMPSO { return New(WithSeed(seed)) }
 
+// Stateful is the optional contract for compressors carrying per-stream
+// state (error-feedback residuals, PowerSGD's warm-started factors).
+// Holders of a long-lived Compressor should type-assert for Stateful and
+// Reset between logical streams.
+type Stateful = compress.Stateful
+
+// ErrorFeedback is the shared error-feedback wrapper built by
+// WithErrorFeedback (or NewErrorFeedback): it carries the compression
+// residual across steps and adds it back before each Compress. It
+// implements Stateful; type-assert a registry-built Compressor to reach
+// ResidualNorm or Reset.
+type ErrorFeedback = compress.ErrorFeedback
+
+// PowerSGD is the low-rank compressor family: rank-k P/Q power iteration
+// with warm-started queries and ACP-SGD's alternating factor exchange,
+// whose aggregation is a ring all-reduce instead of a blob all-gather.
+type PowerSGD = compress.PowerSGD
+
+// NewPowerSGD returns a rank-k low-rank compressor with warm-started
+// queries and a near-square gradient reshape; equivalent to
+// NewCompressorFor("powersgd", WithRank(rank), WithSeed(seed)).
+func NewPowerSGD(rank int, seed int64) *PowerSGD { return compress.NewPowerSGD(rank, seed) }
+
+// Families returns the registered compressor family names in canonical
+// order ("compso", "qsgd", "sz", "cocktail", "powersgd"), mirroring the
+// Codecs/Models/Platforms registry pattern. Build one with
+// NewCompressorFor.
+func Families() []string { return compress.Families() }
+
 // NewQSGD returns the QSGD baseline compressor (fixed-bit SR quantization
 // with Elias-gamma coding).
-func NewQSGD(bitWidth int, seed int64) Compressor { return compress.NewQSGD(bitWidth, seed) }
+//
+// Deprecated: use NewCompressorFor("qsgd", WithBits(bitWidth),
+// WithSeed(seed)). This shim resolves through the registry and panics on
+// out-of-range widths (previously the panic surfaced at first Compress).
+func NewQSGD(bitWidth int, seed int64) Compressor {
+	c, err := NewCompressorFor("qsgd", WithBits(bitWidth), WithSeed(seed))
+	if err != nil {
+		panic("compso.NewQSGD: " + err.Error())
+	}
+	return c
+}
 
 // NewSZ returns the SZ/cuSZ baseline compressor (Lorenzo prediction,
 // RN quantization, Huffman coding) with a range-relative error bound.
-func NewSZ(relErrorBound float64) Compressor { return compress.NewSZ(relErrorBound) }
+//
+// Deprecated: use NewCompressorFor("sz", WithRelErrorBound(relErrorBound)).
+// A zero bound now selects the registry default (1e-3).
+func NewSZ(relErrorBound float64) Compressor {
+	c, err := NewCompressorFor("sz", WithRelErrorBound(relErrorBound))
+	if err != nil {
+		panic("compso.NewSZ: " + err.Error())
+	}
+	return c
+}
 
 // NewCocktailSGD returns the CocktailSGD baseline compressor (top-k
 // sparsification plus fixed-bit SR quantization).
+//
+// Deprecated: use NewCompressorFor("cocktail", WithKeepFraction(keep),
+// WithBits(bits), WithSeed(seed)). This shim resolves through the
+// registry and panics on out-of-range parameters (previously invalid
+// widths surfaced at first Compress).
 func NewCocktailSGD(keepFraction float64, bitWidth int, seed int64) Compressor {
-	return compress.NewCocktailSGD(keepFraction, bitWidth, seed)
+	c, err := NewCompressorFor("cocktail",
+		WithKeepFraction(keepFraction), WithBits(bitWidth), WithSeed(seed))
+	if err != nil {
+		panic("compso.NewCocktailSGD: " + err.Error())
+	}
+	return c
 }
 
 // NewController returns the paper's default iteration-wise adaptive
 // controller for the given schedule and iteration budget.
 func NewController(schedule Schedule, totalIters int) *Controller {
 	return internalcompso.DefaultController(schedule, totalIters)
+}
+
+// LayerPlan is a per-layer compressor-family assignment for a model
+// profile (see PlanFamilies).
+type LayerPlan = internalcompso.LayerPlan
+
+// FamilyChoice is one layer's entry in a LayerPlan.
+type FamilyChoice = internalcompso.FamilyChoice
+
+// PlanFamilies chooses a compressor family per profile layer: PowerSGD
+// rank-k for large 2D layers whose factor exchange clearly beats the
+// COMPSO baseline, COMPSO elsewhere. rank ≤ 0 and minParams ≤ 0 select
+// the defaults (4 and 1<<16). Use LayerPlan.Compressors with
+// TrainConfig.NewLayerCompressor to apply the plan to a training run.
+func PlanFamilies(profile ModelProfile, rank, minParams int) LayerPlan {
+	return internalcompso.PlanFamilies(profile, rank, minParams)
 }
 
 // Sentinel errors for the facade's lookup and decode paths. Match them
@@ -137,6 +211,9 @@ var (
 	// ErrCorruptBlob is wrapped by every Decompress implementation on
 	// malformed input.
 	ErrCorruptBlob = compress.ErrCorrupt
+	// ErrUnknownFamily is wrapped by NewCompressorFor for unregistered
+	// compressor family names.
+	ErrUnknownFamily = compress.ErrUnknownFamily
 )
 
 // Codecs returns the Table 2 lossless encoder set (ANS, Bitcomp, Cascaded,

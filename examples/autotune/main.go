@@ -51,8 +51,16 @@ func main() {
 	// accumulated gradient drifts with a biased compressor, with and
 	// without EF.
 	fmt.Println("\nerror feedback vs plain compression (biased RN compressor, 50 steps):")
-	plain := compso.NewSZ(5e-2)
-	withEF := compso.NewErrorFeedback(compso.NewSZ(5e-2))
+	plain, err := compso.NewCompressorFor("sz", compso.WithRelErrorBound(5e-2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	withEF, err := compso.NewCompressorFor("sz",
+		compso.WithRelErrorBound(5e-2), compso.WithErrorFeedback())
+	if err != nil {
+		log.Fatal(err)
+	}
+	efWrap := withEF.(*compso.ErrorFeedback)
 	n := 20000
 	sumTrue := make([]float64, n)
 	sumPlain := make([]float64, n)
@@ -92,5 +100,5 @@ func main() {
 	fmt.Printf("accumulated drift without EF: %.4f\n", drift(sumPlain))
 	fmt.Printf("accumulated drift with EF:    %.4f\n", drift(sumEF))
 	fmt.Printf("EF residual in flight:        %.4f (the memory COMPSO avoids carrying)\n",
-		withEF.ResidualNorm())
+		efWrap.ResidualNorm())
 }

@@ -45,7 +45,50 @@ const (
 	magicSZ       = 0x5a // 'Z'
 	magicCocktail = 0x43 // 'C'
 	magicCOMPSO   = 0x4f // 'O'
+	magicLowRank  = 0x4c // 'L'
 )
+
+// Stateful is the optional contract for compressors that carry per-stream
+// state — error-feedback residuals, PowerSGD's warm-started query factors,
+// the pinned stream length. Holders of a long-lived Compressor (serve
+// sessions, per-layer training streams) should type-assert for Stateful and
+// Reset between logical streams instead of special-casing concrete types.
+type Stateful interface {
+	// Reset drops all stream state; the next Compress starts a fresh
+	// stream (and may pin a new gradient length).
+	Reset()
+	// State returns a diagnostic snapshot of the stream state. The
+	// returned value is a deep copy: mutating it never affects the
+	// compressor.
+	State() any
+}
+
+// Decode decompresses a self-describing blob from any registered family,
+// dispatching on the magic byte. Every family's decode path is
+// receiver-stateless (blobs carry their own parameters), so a zero-value
+// decoder restores the vector exactly as the originating instance would.
+// Mixed-family streams — e.g. a per-layer compressor plan where large
+// layers go low-rank and the rest COMPSO — decode through this single
+// entry point.
+func Decode(data []byte) ([]float32, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty buffer", ErrCorrupt)
+	}
+	switch data[0] {
+	case magicCOMPSO:
+		return (&COMPSO{}).Decompress(data)
+	case magicQSGD:
+		return (&QSGD{}).Decompress(data)
+	case magicSZ:
+		return (&SZ{}).Decompress(data)
+	case magicCocktail:
+		return (&CocktailSGD{}).Decompress(data)
+	case magicLowRank:
+		return (&PowerSGD{}).Decompress(data)
+	default:
+		return nil, fmt.Errorf("%w: unknown magic byte %#x", ErrCorrupt, data[0])
+	}
+}
 
 // Ratio returns the compression ratio achieved for n float32 values
 // compressed into len(data) bytes (the paper's CR metric: original bytes /
@@ -87,7 +130,7 @@ func PeekElements(data []byte) (int, error) {
 		return 0, fmt.Errorf("%w: empty buffer", ErrCorrupt)
 	}
 	switch data[0] {
-	case magicQSGD, magicSZ, magicCocktail, magicCOMPSO:
+	case magicQSGD, magicSZ, magicCocktail, magicCOMPSO, magicLowRank:
 	default:
 		return 0, fmt.Errorf("%w: unknown magic byte %#x", ErrCorrupt, data[0])
 	}

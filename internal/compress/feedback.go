@@ -14,12 +14,19 @@ import (
 // exists for the comparison experiments and for users with memory to spare.
 //
 // The wrapper is stateful per gradient stream: use one instance per
-// (worker, tensor) pair, and call Compress with same-length inputs.
+// (worker, tensor) pair, and call Compress with same-length inputs. The
+// stream length is pinned on the *first* Compress call — even one that
+// later fails inside the inner compressor — so every subsequent
+// length change surfaces as ErrLengthMismatch rather than feeding a
+// possibly state-pinned inner compressor a foreign shape.
 type ErrorFeedback struct {
 	// Inner performs the actual compression.
 	Inner Compressor
 	// residual carries the accumulated compression error.
 	residual []float32
+	// expect pins the stream's gradient length from first use on.
+	expect    int
+	expectSet bool
 }
 
 // NewErrorFeedback wraps inner with EF state.
@@ -30,18 +37,47 @@ func NewErrorFeedback(inner Compressor) *ErrorFeedback {
 // Name implements Compressor.
 func (e *ErrorFeedback) Name() string { return e.Inner.Name() + "+EF" }
 
-// Compress adds the stored residual to src, compresses the sum, and stores
-// the new residual. The input slice is not modified.
-func (e *ErrorFeedback) Compress(src []float32) ([]byte, error) {
-	if e.residual != nil && len(e.residual) != len(src) {
-		return nil, fmt.Errorf("%w: EF residual length %d, input %d", ErrLengthMismatch, len(e.residual), len(src))
+// Corrected returns src plus the stored residual as a fresh slice, pinning
+// the stream length on first use. It is the first half of Compress, split
+// out for aggregation paths (the low-rank ring all-reduce) that compress
+// and restore through a collective instead of a local round trip; such
+// callers pair it with Observe.
+func (e *ErrorFeedback) Corrected(src []float32) ([]float32, error) {
+	if e.expectSet && e.expect != len(src) {
+		return nil, fmt.Errorf("%w: EF stream length %d, input %d", ErrLengthMismatch, e.expect, len(src))
 	}
+	e.expect, e.expectSet = len(src), true
 	corrected := make([]float32, len(src))
 	copy(corrected, src)
 	if e.residual != nil {
 		for i := range corrected {
 			corrected[i] += e.residual[i]
 		}
+	}
+	return corrected, nil
+}
+
+// Observe stores the stream's new residual, corrected − restored. It is
+// the second half of Compress for collective-aggregation callers.
+func (e *ErrorFeedback) Observe(corrected, restored []float32) error {
+	if len(restored) != len(corrected) {
+		return fmt.Errorf("%w: EF restored length %d, want %d", ErrLengthMismatch, len(restored), len(corrected))
+	}
+	if e.residual == nil {
+		e.residual = make([]float32, len(corrected))
+	}
+	for i := range corrected {
+		e.residual[i] = corrected[i] - restored[i]
+	}
+	return nil
+}
+
+// Compress adds the stored residual to src, compresses the sum, and stores
+// the new residual. The input slice is not modified.
+func (e *ErrorFeedback) Compress(src []float32) ([]byte, error) {
+	corrected, err := e.Corrected(src)
+	if err != nil {
+		return nil, err
 	}
 	blob, err := e.Inner.Compress(corrected)
 	if err != nil {
@@ -51,14 +87,8 @@ func (e *ErrorFeedback) Compress(src []float32) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: EF local decode: %w", err)
 	}
-	if len(decoded) != len(corrected) {
-		return nil, fmt.Errorf("compress: EF decode length %d, want %d", len(decoded), len(corrected))
-	}
-	if e.residual == nil {
-		e.residual = make([]float32, len(src))
-	}
-	for i := range corrected {
-		e.residual[i] = corrected[i] - decoded[i]
+	if err := e.Observe(corrected, decoded); err != nil {
+		return nil, err
 	}
 	return blob, nil
 }
@@ -68,8 +98,41 @@ func (e *ErrorFeedback) Decompress(data []byte) ([]float32, error) {
 	return e.Inner.Decompress(data)
 }
 
-// Reset clears the residual (e.g. between epochs or tensor shape changes).
-func (e *ErrorFeedback) Reset() { e.residual = nil }
+// Reset implements Stateful: it clears the residual and the length pin
+// (e.g. between epochs or tensor shape changes) and resets a Stateful
+// inner compressor, so the whole stack restarts as one stream.
+func (e *ErrorFeedback) Reset() {
+	e.residual = nil
+	e.expect, e.expectSet = 0, false
+	if st, ok := e.Inner.(Stateful); ok {
+		st.Reset()
+	}
+}
+
+// ErrorFeedbackState is the State() snapshot.
+type ErrorFeedbackState struct {
+	// Expect is the pinned stream length (0 before first use).
+	Expect int
+	// Residual is a copy of the in-flight error.
+	Residual []float32
+	// Inner is the inner compressor's snapshot when it is Stateful.
+	Inner any
+}
+
+// State implements Stateful.
+func (e *ErrorFeedback) State() any {
+	st := ErrorFeedbackState{}
+	if e.expectSet {
+		st.Expect = e.expect
+	}
+	if e.residual != nil {
+		st.Residual = append([]float32(nil), e.residual...)
+	}
+	if inner, ok := e.Inner.(Stateful); ok {
+		st.Inner = inner.State()
+	}
+	return st
+}
 
 // ResidualNorm returns the L2 norm of the stored residual, a diagnostic
 // for how much error is in flight.

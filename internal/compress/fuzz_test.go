@@ -43,6 +43,14 @@ func FuzzCocktailDecompress(f *testing.F) {
 	fuzzDecompress(f, func() Compressor { return NewCocktailSGD(0.2, 8, 3) })
 }
 
+func FuzzPowerSGDDecompress(f *testing.F) {
+	// Extra corpus entry: a header whose rows·cols product overflows and
+	// whose factor dims disagree with the payload length.
+	hdr := []byte{magicLowRank, 0xe8, 0x07, 0xff, 0xff, 0xff, 0xff, 0x0f, 0xff, 0xff, 0xff, 0xff, 0x0f, 0x04}
+	f.Add(append(hdr, 0xde, 0xad))
+	fuzzDecompress(f, func() Compressor { return NewPowerSGD(4, 7) })
+}
+
 func FuzzChunkedDecompress(f *testing.F) {
 	mk := func() Compressor {
 		return &Chunked{New: func(seed int64) Compressor { return NewQSGD(8, seed) }, ChunkSize: 64}

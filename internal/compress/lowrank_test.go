@@ -1,0 +1,377 @@
+package compress
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"math"
+	"testing"
+
+	"compso/internal/xrand"
+)
+
+// lowRankInput builds a gradient that is exactly rank r under the given
+// 2D view, so a rank-k >= r compressor can reconstruct it to float32
+// precision.
+func lowRankInput(rows, cols, r int, seed int64) []float32 {
+	rng := xrand.NewSeeded(seed)
+	u := make([]float64, rows*r)
+	v := make([]float64, cols*r)
+	for i := range u {
+		u[i] = rng.NormFloat64()
+	}
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	out := make([]float32, rows*cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			var s float64
+			for t := 0; t < r; t++ {
+				s += u[i*r+t] * v[j*r+t]
+			}
+			out[i*cols+j] = float32(s)
+		}
+	}
+	return out
+}
+
+func relErr(want, got []float32) float64 {
+	var num, den float64
+	for i := range want {
+		d := float64(want[i]) - float64(got[i])
+		num += d * d
+		den += float64(want[i]) * float64(want[i])
+	}
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num / den)
+}
+
+// TestPowerSGDExactOnLowRank: a gradient that is genuinely rank-2 under
+// the pinned view must round-trip through a rank-4 compressor almost
+// exactly — one power-iteration step captures the full subspace.
+func TestPowerSGDExactOnLowRank(t *testing.T) {
+	src := lowRankInput(40, 25, 2, 5)
+	pc := NewPowerSGD(4, 9)
+	pc.Rows, pc.Cols = 40, 25
+	blob, err := pc.Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pc.Decompress(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(src, out); e > 1e-5 {
+		t.Fatalf("rank-2 input through rank-4 compressor: relative error %g", e)
+	}
+}
+
+// TestPowerSGDWarmStartSharpens: on a slowly rotating dominant subspace,
+// the warm-started query must approximate later gradients better than a
+// cold query re-initialized each step.
+func TestPowerSGDWarmStartSharpens(t *testing.T) {
+	const rows, cols = 32, 32
+	warm := NewPowerSGD(2, 3)
+	warm.Rows, warm.Cols = rows, cols
+	cold := NewPowerSGD(2, 3)
+	cold.Rows, cold.Cols = rows, cols
+	cold.WarmStart = false
+
+	var warmErr, coldErr float64
+	base := lowRankInput(rows, cols, 2, 8)
+	noise := kfacData(rows*cols, 77)
+	src := make([]float32, rows*cols)
+	for step := 0; step < 8; step++ {
+		for i := range src {
+			src[i] = base[i] + 0.05*noise[(i+step)%len(noise)]
+		}
+		for _, pc := range []*PowerSGD{warm, cold} {
+			blob, err := pc.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := pc.Decompress(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pc == warm {
+				warmErr = relErr(src, out)
+			} else {
+				coldErr = relErr(src, out)
+			}
+		}
+	}
+	if warmErr > coldErr+1e-9 {
+		t.Fatalf("warm-started error %g worse than cold %g", warmErr, coldErr)
+	}
+}
+
+// TestPowerSGDGoldenBlobs locks the blob encoding bit-for-bit across
+// seeds: the format, the deterministic query init and the float64
+// Gram-Schmidt must not drift silently.
+func TestPowerSGDGoldenBlobs(t *testing.T) {
+	golden := map[int64][2]string{
+		3:  {"8f0be982c2d222f19dc4b3d4d181b77d0075dabc74c46a1812ad8fff3733a1ff", "971d0bdc7d35106294c5a6def5874fcb532d76c30f9daf9606f6bf4f206b3a01"},
+		11: {"439ab31dff9b2157945bfdfadeedf113428ed3c16ebf5627e60fa7c882f51f50", "48c0d385496c55662a681110b5cabe4960deea8b31f6a285127af9b2c0c0aa37"},
+	}
+	src := kfacData(1000, 13)
+	for seed, want := range golden {
+		pc := NewPowerSGD(4, seed)
+		for step := 0; step < 2; step++ {
+			blob, err := pc.Compress(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := sha256.Sum256(blob)
+			if got := hex.EncodeToString(sum[:]); got != want[step] {
+				t.Fatalf("seed %d step %d: blob sha256 %s, want %s", seed, step, got, want[step])
+			}
+		}
+	}
+}
+
+// ringWorld simulates world instances of the alternating-factor ring
+// exchange for steps steps and returns each rank's final restored
+// gradient plus the true mean gradient.
+func ringWorld(t *testing.T, world, n, steps int) (restored [][]float32, mean []float32) {
+	t.Helper()
+	workers := make([]*PowerSGD, world)
+	for r := range workers {
+		workers[r] = NewPowerSGD(4, 99) // shared seed: the ring invariant
+	}
+	grads := make([][]float32, world)
+	for r := range grads {
+		grads[r] = kfacData(n, int64(1000+r))
+	}
+	mean = make([]float32, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for r := range grads {
+			s += float64(grads[r][i])
+		}
+		mean[i] = float32(s / float64(world))
+	}
+	restored = make([][]float32, world)
+	for step := 0; step < steps; step++ {
+		var sum []float64
+		for r, w := range workers {
+			f, err := w.ReduceFactor(grads[r])
+			if err != nil {
+				t.Fatalf("world %d rank %d step %d: %v", world, r, step, err)
+			}
+			if sum == nil {
+				sum = make([]float64, len(f))
+			} else if len(f) != len(sum) {
+				t.Fatalf("world %d rank %d step %d: factor length %d, others %d", world, r, step, len(f), len(sum))
+			}
+			for i, v := range f {
+				sum[i] += v
+			}
+		}
+		for r, w := range workers {
+			out, err := w.InstallReduced(sum, world)
+			if err != nil {
+				t.Fatalf("world %d rank %d step %d: %v", world, r, step, err)
+			}
+			restored[r] = out
+		}
+	}
+	return restored, mean
+}
+
+// TestPowerSGDRingAgreement: for power-of-two and non-power-of-two world
+// sizes, every rank's InstallReduced output must be bit-identical every
+// step (the SPMD shared-factor invariant), and the reconstruction must
+// track the mean gradient.
+func TestPowerSGDRingAgreement(t *testing.T) {
+	for _, world := range []int{2, 3, 4, 5} {
+		restored, mean := ringWorld(t, world, 900, 6)
+		for r := 1; r < world; r++ {
+			for i := range restored[0] {
+				if restored[r][i] != restored[0][i] {
+					t.Fatalf("world %d: rank %d value %d = %g, rank 0 = %g — factor state diverged",
+						world, r, i, restored[r][i], restored[0][i])
+				}
+			}
+		}
+		// Rank-4 on a 30x30 view of rough noise won't be tight, but the
+		// reconstruction must correlate with the mean gradient.
+		var dot, nm, nr float64
+		for i := range mean {
+			dot += float64(mean[i]) * float64(restored[0][i])
+			nm += float64(mean[i]) * float64(mean[i])
+			nr += float64(restored[0][i]) * float64(restored[0][i])
+		}
+		if nm == 0 || nr == 0 || dot/math.Sqrt(nm*nr) < 0.1 {
+			t.Fatalf("world %d: reconstruction uncorrelated with mean gradient (cos=%g)",
+				world, dot/math.Sqrt(nm*nr))
+		}
+	}
+}
+
+// TestPowerSGDLengthMismatch: the stream length pins on first use in both
+// modes; a later change must surface ErrLengthMismatch.
+func TestPowerSGDLengthMismatch(t *testing.T) {
+	pc := NewPowerSGD(4, 1)
+	if _, err := pc.Compress(kfacData(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Compress(kfacData(50, 1)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("blob mode after length change: %v, want ErrLengthMismatch", err)
+	}
+	rc := NewPowerSGD(4, 1)
+	if _, err := rc.ReduceFactor(kfacData(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.ReduceFactor(kfacData(99, 1)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("ring mode after length change: %v, want ErrLengthMismatch", err)
+	}
+	// A pinned 2D view too small for the input fails without pinning.
+	small := NewPowerSGD(2, 1)
+	small.Rows, small.Cols = 4, 4
+	if _, err := small.Compress(kfacData(100, 1)); err == nil {
+		t.Fatal("16-slot view accepted 100 values")
+	}
+}
+
+// TestPowerSGDDecompressCorrupt: hostile blobs must error, never panic
+// or over-allocate.
+func TestPowerSGDDecompressCorrupt(t *testing.T) {
+	pc := NewPowerSGD(4, 2)
+	valid, err := pc.Compress(kfacData(300, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"magic only":     {magicLowRank},
+		"truncated dims": valid[:4],
+		"truncated body": valid[:len(valid)-3],
+		"trailing":       append(append([]byte(nil), valid...), 1, 2),
+	}
+	// k > rows: n=4, rows=1, cols=4, k=3.
+	bad := []byte{magicLowRank, 4, 1, 4, 3}
+	cases["rank over rows"] = bad
+	// rows*cols < n.
+	cases["undersized shape"] = []byte{magicLowRank, 100, 3, 3, 1}
+	for name, blob := range cases {
+		if _, err := (&PowerSGD{}).Decompress(blob); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: %v, want ErrCorrupt", name, err)
+		}
+	}
+	if out, err := (&PowerSGD{}).Decompress(valid); err != nil || len(out) != 300 {
+		t.Fatalf("zero-value decode of a valid blob: %d values, %v", len(out), err)
+	}
+}
+
+// TestPowerSGDStateful: State is a deep snapshot and Reset starts a new
+// stream accepting a different length.
+func TestPowerSGDStateful(t *testing.T) {
+	pc := NewPowerSGD(4, 3)
+	if _, err := pc.Compress(kfacData(200, 3)); err != nil {
+		t.Fatal(err)
+	}
+	st := pc.State().(PowerSGDState)
+	if st.Step != 1 || st.N != 200 || st.Q == nil {
+		t.Fatalf("state after one step: %+v", st)
+	}
+	st.Q[0] = 1e9 // mutating the snapshot must not touch the live factor
+	st2 := pc.State().(PowerSGDState)
+	if st2.Q[0] == 1e9 {
+		t.Fatal("State returned a shared slice")
+	}
+	pc.Reset()
+	if _, err := pc.Compress(kfacData(64, 3)); err != nil {
+		t.Fatalf("compress after Reset: %v", err)
+	}
+}
+
+// TestPowerSGDEmptyStream: zero-length streams are valid in both modes.
+func TestPowerSGDEmptyStream(t *testing.T) {
+	pc := NewPowerSGD(4, 4)
+	blob, err := pc.Compress(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&PowerSGD{}).Decompress(blob)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty roundtrip: %d values, %v", len(out), err)
+	}
+	// The empty stream is pinned too.
+	if _, err := pc.Compress(kfacData(8, 4)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length change after empty pin: %v, want ErrLengthMismatch", err)
+	}
+	rc := NewPowerSGD(4, 4)
+	f, err := rc.ReduceFactor(nil)
+	if err != nil || len(f) != 0 {
+		t.Fatalf("empty ReduceFactor: %v", err)
+	}
+	got, err := rc.InstallReduced(nil, 3)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty InstallReduced: %v", err)
+	}
+}
+
+// TestPowerSGDFactorLen: the probe reports ring volumes without touching
+// live state.
+func TestPowerSGDFactorLen(t *testing.T) {
+	pc := NewPowerSGD(4, 5)
+	pc.Rows, pc.Cols = 100, 60
+	even, odd, err := pc.FactorLen(6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even != 400 || odd != 240 {
+		t.Fatalf("factor lengths %d/%d, want 400/240", even, odd)
+	}
+	if pc.n != 0 || pc.step != 0 {
+		t.Fatal("FactorLen mutated live state")
+	}
+	if _, _, err := pc.FactorLen(6001); err == nil {
+		t.Fatal("FactorLen accepted an input larger than the pinned view")
+	}
+}
+
+// TestDecodeDispatch: the magic-byte dispatcher must route every
+// family's blob to the right decoder and reject unknown magics.
+func TestDecodeDispatch(t *testing.T) {
+	src := kfacData(500, 6)
+	comps := []Compressor{
+		NewCOMPSO(6),
+		NewQSGD(8, 6),
+		NewSZ(1e-3),
+		NewCocktailSGD(0.04, 8, 6),
+		NewPowerSGD(4, 6),
+	}
+	for _, c := range comps {
+		blob, err := c.Compress(src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		want, err := c.Decompress(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", c.Name(), err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: Decode %d values, want %d", c.Name(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: Decode value %d differs", c.Name(), i)
+			}
+		}
+	}
+	if _, err := Decode([]byte{0xEE, 1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown magic: %v, want ErrCorrupt", err)
+	}
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty blob: %v, want ErrCorrupt", err)
+	}
+}

@@ -37,6 +37,8 @@ func raceCompressors(seed int64) []Compressor {
 		NewSZ(1e-3),
 		NewCocktailSGD(0.04, 8, seed),
 		NewErrorFeedback(NewCOMPSO(seed)),
+		NewPowerSGD(4, seed),
+		NewErrorFeedback(NewPowerSGD(4, seed)),
 	)
 	return out
 }
@@ -62,8 +64,8 @@ func TestConcurrentInstancesAreRaceFree(t *testing.T) {
 				src := make([]float32, n)
 				xrand.KFACGradient(rng, src, 1.0)
 				for _, c := range comps {
-					if ef, ok := c.(*ErrorFeedback); ok {
-						ef.Reset() // EF residuals are per-length; sizes vary per round
+					if st, ok := c.(Stateful); ok {
+						st.Reset() // EF residuals and low-rank factors are per-length; sizes vary per round
 					}
 					blob, err := c.Compress(src)
 					if err != nil {

@@ -1,0 +1,171 @@
+package compress
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"compso/internal/encoding"
+	"compso/internal/obs"
+)
+
+// ErrUnknownFamily is wrapped by ByName for unregistered compressor family
+// names. Match with errors.Is; the message lists the registered families.
+var ErrUnknownFamily = errors.New("compress: unknown compressor family")
+
+// Options configures a registry-built compressor (ByName). The zero value
+// selects each family's defaults; fields irrelevant to the chosen family
+// are ignored. Defaults match the serving layer's session defaults, so a
+// registry build and a serve session with the same wire config are
+// bit-identical.
+type Options struct {
+	// Seed fixes the deterministic stochastic-rounding / query-init
+	// stream (compso, qsgd, cocktail, powersgd).
+	Seed int64
+
+	// EBFilter and EBQuant are COMPSO's error bounds (default 4e-3 each).
+	EBFilter, EBQuant float64
+	// Filter toggles COMPSO's filter stage (default on).
+	Filter *bool
+	// Codec is COMPSO's lossless back-end (default ANS).
+	Codec encoding.Codec
+	// Obs receives COMPSO's per-call ratio/filter metrics.
+	Obs *obs.Recorder
+
+	// Bits is the quantization width for qsgd (default 4) and cocktail
+	// (default 8).
+	Bits int
+	// Keep is cocktail's top-k keep fraction (default 0.04).
+	Keep float64
+
+	// RelEB is SZ's range-relative error bound (default 1e-3).
+	RelEB float64
+
+	// Rank is powersgd's factorization rank (default 4).
+	Rank int
+	// Rows and Cols optionally pin powersgd's 2D gradient view (both or
+	// neither; zero selects the near-square reshape).
+	Rows, Cols int
+	// NoWarmStart disables powersgd's cross-step query reuse.
+	NoWarmStart bool
+
+	// ErrorFeedback wraps the built compressor with an error-feedback
+	// residual — uniform across every lossy family.
+	ErrorFeedback bool
+}
+
+// familyOrder is the registry in canonical order; names are matched
+// case-insensitively by ByName.
+var familyOrder = []string{"compso", "qsgd", "sz", "cocktail", "powersgd"}
+
+// Families returns the registered compressor family names in canonical
+// order, for flag help and serve discovery endpoints.
+func Families() []string {
+	return append([]string(nil), familyOrder...)
+}
+
+// CanonicalFamily resolves a family name case-insensitively (accepting the
+// "lowrank" and "cocktailsgd" aliases) to its canonical registry name, or
+// an error wrapping ErrUnknownFamily.
+func CanonicalFamily(name string) (string, error) {
+	switch strings.ToLower(name) {
+	case "compso":
+		return "compso", nil
+	case "qsgd":
+		return "qsgd", nil
+	case "sz":
+		return "sz", nil
+	case "cocktail", "cocktailsgd":
+		return "cocktail", nil
+	case "powersgd", "lowrank":
+		return "powersgd", nil
+	}
+	return "", fmt.Errorf("%w: %q (have %v)", ErrUnknownFamily, name, familyOrder)
+}
+
+// ByName builds a compressor family by registry name. It is the single
+// construction path the facade, the command-line tools and the serving
+// layer resolve through: per-family validation happens here, and the
+// ErrorFeedback option composes uniformly on top of any family. Builds are
+// bit-identical to the corresponding direct constructor calls.
+func ByName(name string, o Options) (Compressor, error) {
+	family, err := CanonicalFamily(name)
+	if err != nil {
+		return nil, err
+	}
+	var c Compressor
+	switch family {
+	case "compso":
+		if o.EBFilter < 0 || o.EBQuant < 0 {
+			return nil, fmt.Errorf("compress: compso: negative error bound")
+		}
+		cc := NewCOMPSO(o.Seed)
+		if o.EBFilter > 0 {
+			cc.EBFilter = o.EBFilter
+		}
+		if o.EBQuant > 0 {
+			cc.EBQuant = o.EBQuant
+		}
+		if o.Filter != nil {
+			cc.FilterEnabled = *o.Filter
+		}
+		if o.Codec != nil {
+			cc.Codec = o.Codec
+		}
+		cc.Obs = o.Obs
+		c = cc
+	case "qsgd":
+		bits := o.Bits
+		if bits == 0 {
+			bits = 4
+		}
+		if bits < 2 || bits > 16 {
+			return nil, fmt.Errorf("compress: qsgd bits %d out of range [2,16]", bits)
+		}
+		c = NewQSGD(bits, o.Seed)
+	case "sz":
+		eb := o.RelEB
+		if eb == 0 {
+			eb = 1e-3
+		}
+		if eb < 0 {
+			return nil, fmt.Errorf("compress: sz: negative error bound")
+		}
+		c = NewSZ(eb)
+	case "cocktail":
+		bits := o.Bits
+		if bits == 0 {
+			bits = 8
+		}
+		if bits < 2 || bits > 16 {
+			return nil, fmt.Errorf("compress: cocktail bits %d out of range [2,16]", bits)
+		}
+		keep := o.Keep
+		if keep == 0 {
+			keep = 0.04
+		}
+		if keep <= 0 || keep > 1 {
+			return nil, fmt.Errorf("compress: cocktail keep %g out of (0,1]", keep)
+		}
+		c = NewCocktailSGD(keep, bits, o.Seed)
+	case "powersgd":
+		rank := o.Rank
+		if rank == 0 {
+			rank = 4
+		}
+		if rank < 1 || rank > 1024 {
+			return nil, fmt.Errorf("compress: powersgd rank %d out of range [1,1024]", rank)
+		}
+		if o.Rows < 0 || o.Cols < 0 || (o.Rows == 0) != (o.Cols == 0) {
+			return nil, fmt.Errorf("compress: powersgd shape %dx%d (set both dims or neither)", o.Rows, o.Cols)
+		}
+		ps := NewPowerSGD(rank, o.Seed)
+		ps.Rows, ps.Cols = o.Rows, o.Cols
+		ps.WarmStart = !o.NoWarmStart
+		c = ps
+	}
+	if o.ErrorFeedback {
+		c = NewErrorFeedback(c)
+	}
+	return c, nil
+}

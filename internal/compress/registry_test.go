@@ -1,0 +1,230 @@
+package compress
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// registryIdentityCases pairs each family's registry build with the
+// direct constructor it must be bit-identical to.
+func registryIdentityCases(seed int64) []struct {
+	family string
+	opts   Options
+	direct func() Compressor
+} {
+	return []struct {
+		family string
+		opts   Options
+		direct func() Compressor
+	}{
+		{"compso", Options{Seed: seed}, func() Compressor { return NewCOMPSO(seed) }},
+		{"qsgd", Options{Seed: seed, Bits: 8}, func() Compressor { return NewQSGD(8, seed) }},
+		{"sz", Options{RelEB: 4e-3}, func() Compressor { return NewSZ(4e-3) }},
+		{"cocktail", Options{Seed: seed, Keep: 0.2, Bits: 8}, func() Compressor { return NewCocktailSGD(0.2, 8, seed) }},
+		{"powersgd", Options{Seed: seed, Rank: 4}, func() Compressor { return NewPowerSGD(4, seed) }},
+	}
+}
+
+// TestByNameBitIdentity: a registry build must behave bit-identically to
+// the direct constructor over multiple steps (stateful families drift if
+// any knob is defaulted differently).
+func TestByNameBitIdentity(t *testing.T) {
+	src := kfacData(700, 17)
+	for _, tc := range registryIdentityCases(17) {
+		reg, err := ByName(tc.family, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		direct := tc.direct()
+		for step := 0; step < 3; step++ {
+			rb, err := reg.Compress(src)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.family, step, err)
+			}
+			db, err := direct.Compress(src)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.family, step, err)
+			}
+			if string(rb) != string(db) {
+				t.Fatalf("%s step %d: registry blob differs from direct construction", tc.family, step)
+			}
+		}
+	}
+}
+
+// TestByNameErrorFeedbackEquivalence: the ErrorFeedback option must
+// compose identically to hand-wrapping the direct constructor, on every
+// family.
+func TestByNameErrorFeedbackEquivalence(t *testing.T) {
+	src := kfacData(600, 23)
+	for _, tc := range registryIdentityCases(23) {
+		opts := tc.opts
+		opts.ErrorFeedback = true
+		reg, err := ByName(tc.family, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.family, err)
+		}
+		if _, ok := reg.(*ErrorFeedback); !ok {
+			t.Fatalf("%s: ErrorFeedback option built %T", tc.family, reg)
+		}
+		direct := NewErrorFeedback(tc.direct())
+		if reg.Name() != direct.Name() {
+			t.Fatalf("%s: name %q vs %q", tc.family, reg.Name(), direct.Name())
+		}
+		for step := 0; step < 3; step++ {
+			rb, err := reg.Compress(src)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.family, step, err)
+			}
+			db, err := direct.Compress(src)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", tc.family, step, err)
+			}
+			if string(rb) != string(db) {
+				t.Fatalf("%s step %d: EF-wrapped registry blob differs from direct wrap", tc.family, step)
+			}
+		}
+	}
+}
+
+// TestByNameDefaults: zero Options must select each family's documented
+// defaults (the serve session defaults).
+func TestByNameDefaults(t *testing.T) {
+	for family, want := range map[string]Compressor{
+		"compso":   NewCOMPSO(0),
+		"qsgd":     NewQSGD(4, 0),
+		"sz":       NewSZ(1e-3),
+		"cocktail": NewCocktailSGD(0.04, 8, 0),
+		"powersgd": NewPowerSGD(4, 0),
+	} {
+		got, err := ByName(family, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if got.Name() != want.Name() {
+			t.Fatalf("%s default: %q, want %q", family, got.Name(), want.Name())
+		}
+	}
+}
+
+// TestByNameValidation: out-of-range knobs must fail at construction, not
+// at first Compress.
+func TestByNameValidation(t *testing.T) {
+	cases := []struct {
+		family string
+		opts   Options
+	}{
+		{"qsgd", Options{Bits: 32}}, // used to panic inside Compress via serve
+		{"qsgd", Options{Bits: 1}},
+		{"cocktail", Options{Keep: 1.5}},
+		{"cocktail", Options{Bits: 20}},
+		{"sz", Options{RelEB: -1}},
+		{"compso", Options{EBFilter: -1}},
+		{"powersgd", Options{Rank: 2000}},
+		{"powersgd", Options{Rows: 10}}, // one-sided shape pin
+	}
+	for _, tc := range cases {
+		if _, err := ByName(tc.family, tc.opts); err == nil {
+			t.Errorf("%s %+v: accepted", tc.family, tc.opts)
+		}
+	}
+	if _, err := ByName("zfp", Options{}); !errors.Is(err, ErrUnknownFamily) {
+		t.Fatalf("unknown family: %v, want ErrUnknownFamily", err)
+	}
+}
+
+// TestCanonicalFamily: aliases and case folding resolve; Families lists
+// the canonical order.
+func TestCanonicalFamily(t *testing.T) {
+	for in, want := range map[string]string{
+		"COMPSO":      "compso",
+		"lowrank":     "powersgd",
+		"PowerSGD":    "powersgd",
+		"CocktailSGD": "cocktail",
+		"cocktail":    "cocktail",
+	} {
+		got, err := CanonicalFamily(in)
+		if err != nil || got != want {
+			t.Errorf("CanonicalFamily(%q) = %q, %v; want %q", in, got, err, want)
+		}
+	}
+	if got := strings.Join(Families(), ","); got != "compso,qsgd,sz,cocktail,powersgd" {
+		t.Fatalf("Families() = %q", got)
+	}
+	if _, err := CanonicalFamily("nope"); !errors.Is(err, ErrUnknownFamily) {
+		t.Fatalf("CanonicalFamily(nope): %v", err)
+	}
+}
+
+// failingCompressor errors on Compress for a controllable number of
+// calls — the EF first-use regression needs an inner failure before the
+// pin existed.
+type failingCompressor struct {
+	fails int
+	inner Compressor
+}
+
+func (f *failingCompressor) Name() string { return "failing" }
+func (f *failingCompressor) Compress(src []float32) ([]byte, error) {
+	if f.fails > 0 {
+		f.fails--
+		return nil, errors.New("injected compress failure")
+	}
+	return f.inner.Compress(src)
+}
+func (f *failingCompressor) Decompress(data []byte) ([]float32, error) {
+	return f.inner.Decompress(data)
+}
+
+// TestErrorFeedbackPinsLengthOnFailedFirstUse: the stream length must pin
+// on the FIRST Compress even when the inner compressor fails, so a
+// different length on retry is ErrLengthMismatch — not a silent re-pin
+// feeding a state-bound inner compressor a foreign shape.
+func TestErrorFeedbackPinsLengthOnFailedFirstUse(t *testing.T) {
+	ef := NewErrorFeedback(&failingCompressor{fails: 1, inner: NewQSGD(8, 1)})
+	if _, err := ef.Compress(kfacData(100, 1)); err == nil {
+		t.Fatal("injected failure did not surface")
+	}
+	if _, err := ef.Compress(kfacData(50, 1)); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("length change after failed first use: %v, want ErrLengthMismatch", err)
+	}
+	// The original length still works once the inner recovers.
+	if _, err := ef.Compress(kfacData(100, 1)); err != nil {
+		t.Fatalf("pinned length after recovery: %v", err)
+	}
+	// Reset clears the pin.
+	ef.Reset()
+	if _, err := ef.Compress(kfacData(50, 1)); err != nil {
+		t.Fatalf("after Reset: %v", err)
+	}
+}
+
+// TestErrorFeedbackState: the Stateful snapshot carries the pin, a
+// residual copy and the inner snapshot.
+func TestErrorFeedbackState(t *testing.T) {
+	ef := NewErrorFeedback(NewPowerSGD(4, 2))
+	if _, err := ef.Compress(kfacData(120, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := ef.State().(ErrorFeedbackState)
+	if st.Expect != 120 || len(st.Residual) != 120 {
+		t.Fatalf("state: expect=%d residual=%d", st.Expect, len(st.Residual))
+	}
+	inner, ok := st.Inner.(PowerSGDState)
+	if !ok || inner.Step != 1 {
+		t.Fatalf("inner snapshot: %#v", st.Inner)
+	}
+	st.Residual[0] = 42
+	if ef.State().(ErrorFeedbackState).Residual[0] == 42 {
+		t.Fatal("State returned a shared residual slice")
+	}
+	ef.Reset()
+	rst := ef.State().(ErrorFeedbackState)
+	if rst.Expect != 0 || rst.Residual != nil {
+		t.Fatalf("state after Reset: %+v", rst)
+	}
+	if inner := rst.Inner.(PowerSGDState); inner.Step != 0 {
+		t.Fatal("Reset did not cascade to the Stateful inner")
+	}
+}

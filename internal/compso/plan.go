@@ -1,0 +1,119 @@
+package compso
+
+import (
+	"compso/internal/compress"
+	"compso/internal/modelzoo"
+)
+
+// This file teaches the control layer to choose a compressor family per
+// layer: large 2D layers go to the low-rank PowerSGD family (whose rank-k
+// factors cost k·(ADim+GDim) values against ADim·GDim for the dense
+// gradient), everything else stays on COMPSO. The plan is derived purely
+// from a model profile's layer shapes, so it can be computed once offline
+// and reused across a run — the same spirit as the layer-wise aggregation
+// planner of §4.4.
+
+// FamilyChoice assigns one profile layer a compressor family.
+type FamilyChoice struct {
+	// Layer is the profile layer index; Name its profile name.
+	Layer int
+	Name  string
+	// Family is the registry family ("powersgd" or "compso").
+	Family string
+	// Rows and Cols are the layer's natural 2D gradient view (ADim×GDim),
+	// pinned on the low-rank compressor so no reshape heuristic runs.
+	Rows, Cols int
+	// Params is the layer's gradient size in values.
+	Params int
+	// WireCR is the planner's predicted per-step compression ratio for
+	// the chosen family on this layer (low-rank: the alternating-factor
+	// average; COMPSO: the assumed baseline).
+	WireCR float64
+}
+
+// LayerPlan is a per-layer compressor assignment for one model profile.
+type LayerPlan struct {
+	Model string
+	// Rank is the low-rank family's k.
+	Rank    int
+	Choices []FamilyChoice
+}
+
+// LowRankLayers counts the layers assigned to the low-rank family.
+func (p LayerPlan) LowRankLayers() int {
+	n := 0
+	for _, c := range p.Choices {
+		if c.Family == "powersgd" {
+			n++
+		}
+	}
+	return n
+}
+
+// compsoBaselineCR is the planner's assumed COMPSO compression ratio when
+// scoring low-rank candidates (the paper's typical end-to-end CR is
+// 10–30×; 16 is the conservative middle).
+const compsoBaselineCR = 16.0
+
+// PlanFamilies assigns a compressor family to each layer of a model
+// profile: PowerSGD rank-k for layers that are both large (≥ minParams
+// gradient values) and genuinely 2D enough that the alternating rank-k
+// factor exchange beats the assumed COMPSO baseline by at least 2×,
+// COMPSO for the rest. rank ≤ 0 selects the default rank 4; minParams ≤ 0
+// selects the default 1<<16.
+func PlanFamilies(prof modelzoo.Profile, rank, minParams int) LayerPlan {
+	if rank <= 0 {
+		rank = 4
+	}
+	if minParams <= 0 {
+		minParams = 1 << 16
+	}
+	plan := LayerPlan{Model: prof.Name, Rank: rank, Choices: make([]FamilyChoice, 0, len(prof.Layers))}
+	for i, l := range prof.Layers {
+		params := l.Params()
+		ch := FamilyChoice{
+			Layer: i, Name: l.Name, Family: "compso",
+			Rows: l.ADim, Cols: l.GDim, Params: params,
+			WireCR: compsoBaselineCR,
+		}
+		// Alternating exchange sends one factor per step: on average
+		// rank·(rows+cols)/2 values against params dense values.
+		factorVals := float64(rank) * float64(l.ADim+l.GDim) / 2
+		if factorVals > 0 {
+			lowrankCR := float64(params) / factorVals
+			if params >= minParams && lowrankCR >= 2*compsoBaselineCR {
+				ch.Family = "powersgd"
+				ch.WireCR = lowrankCR
+			}
+		}
+		plan.Choices = append(plan.Choices, ch)
+	}
+	return plan
+}
+
+// Compressors returns a per-layer compressor factory in the shape of
+// train.Config.NewLayerCompressor: low-rank layers get a PowerSGD pinned
+// to the layer's natural 2D view (seeded identically across workers — the
+// family is deterministic, so replicas need no decorrelation), COMPSO
+// layers a per-rank-seeded instance. Layers outside the plan fall back to
+// COMPSO. The factory is intended for inputs matching the planned layer
+// shapes; feeding a pinned low-rank layer a larger gradient fails cleanly
+// at Compress.
+func (p LayerPlan) Compressors(seed int64) func(workerRank, layer int) compress.Compressor {
+	byLayer := make(map[int]FamilyChoice, len(p.Choices))
+	for _, c := range p.Choices {
+		byLayer[c.Layer] = c
+	}
+	return func(workerRank, layer int) compress.Compressor {
+		if ch, ok := byLayer[layer]; ok && ch.Family == "powersgd" {
+			ps := compress.NewPowerSGD(p.Rank, seed)
+			ps.Rows, ps.Cols = ch.Rows, ch.Cols
+			return ps
+		}
+		c, err := compress.ByName("compso", compress.Options{Seed: seed*1000 + int64(workerRank)})
+		if err != nil {
+			panic("compso: registry lost the compso family: " + err.Error())
+		}
+		return c
+	}
+}

@@ -1,0 +1,104 @@
+package compso
+
+import (
+	"testing"
+
+	"compso/internal/compress"
+	"compso/internal/modelzoo"
+)
+
+// TestPlanFamiliesSplitsByShape: large 2D layers go low-rank, small ones
+// stay on COMPSO, and the planner's predicted wire CR reflects the
+// alternating-factor volume.
+func TestPlanFamiliesSplitsByShape(t *testing.T) {
+	plan := PlanFamilies(modelzoo.BERTLarge(), 4, 0)
+	if plan.Rank != 4 {
+		t.Fatalf("rank %d", plan.Rank)
+	}
+	if got, want := len(plan.Choices), len(modelzoo.BERTLarge().Layers); got != want {
+		t.Fatalf("%d choices for %d layers", got, want)
+	}
+	if plan.LowRankLayers() == 0 {
+		t.Fatal("BERT-large planned zero low-rank layers")
+	}
+	for _, ch := range plan.Choices {
+		switch ch.Family {
+		case "powersgd":
+			if ch.Params < 1<<16 {
+				t.Fatalf("layer %s: %d params sent to low-rank below the floor", ch.Name, ch.Params)
+			}
+			wantCR := float64(ch.Params) / (float64(plan.Rank) * float64(ch.Rows+ch.Cols) / 2)
+			if ch.WireCR != wantCR {
+				t.Fatalf("layer %s: WireCR %g, want %g", ch.Name, ch.WireCR, wantCR)
+			}
+			if ch.WireCR < 2*16 {
+				t.Fatalf("layer %s: low-rank chosen at CR %g below the 2x-baseline bar", ch.Name, ch.WireCR)
+			}
+		case "compso":
+		default:
+			t.Fatalf("layer %s: unknown family %q", ch.Name, ch.Family)
+		}
+	}
+
+	// ResNet-50 has small early convs: some layers must stay on COMPSO.
+	rplan := PlanFamilies(modelzoo.ResNet50(), 4, 0)
+	if rplan.LowRankLayers() == len(rplan.Choices) {
+		t.Fatal("ResNet-50 planned every layer low-rank")
+	}
+	if rplan.LowRankLayers() == 0 {
+		t.Fatal("ResNet-50 planned zero low-rank layers")
+	}
+}
+
+// TestPlanCompressorsFactory: low-rank layers get shape-pinned shared-seed
+// PowerSGD, the rest per-rank COMPSO.
+func TestPlanCompressorsFactory(t *testing.T) {
+	prof := modelzoo.BERTLarge()
+	plan := PlanFamilies(prof, 4, 0)
+	factory := plan.Compressors(9)
+	var lowrank, other int
+	for _, ch := range plan.Choices {
+		c0 := factory(0, ch.Layer)
+		c1 := factory(1, ch.Layer)
+		if ch.Family == "powersgd" {
+			lowrank++
+			ps, ok := c0.(*compress.PowerSGD)
+			if !ok {
+				t.Fatalf("layer %d: %T, want PowerSGD", ch.Layer, c0)
+			}
+			if ps.Rows != ch.Rows || ps.Cols != ch.Cols {
+				t.Fatalf("layer %d: pinned %dx%d, want %dx%d", ch.Layer, ps.Rows, ps.Cols, ch.Rows, ch.Cols)
+			}
+			if ps.Seed != c1.(*compress.PowerSGD).Seed {
+				t.Fatalf("layer %d: low-rank seeds differ across workers", ch.Layer)
+			}
+		} else {
+			other++
+			a, ok := c0.(*compress.COMPSO)
+			if !ok {
+				t.Fatalf("layer %d: %T, want COMPSO", ch.Layer, c0)
+			}
+			// Per-rank seeds decorrelate stochastic rounding: same input,
+			// different blobs.
+			src := make([]float32, 512)
+			for i := range src {
+				src[i] = float32(i%17) * 1e-3
+			}
+			b0, err0 := a.Compress(src)
+			b1, err1 := c1.(*compress.COMPSO).Compress(src)
+			if err0 != nil || err1 != nil {
+				t.Fatalf("layer %d: %v %v", ch.Layer, err0, err1)
+			}
+			if string(b0) == string(b1) {
+				t.Fatalf("layer %d: COMPSO blobs identical across workers — shared seed", ch.Layer)
+			}
+		}
+	}
+	if lowrank == 0 {
+		t.Fatal("factory saw no low-rank layers")
+	}
+	// Layers outside the plan fall back to COMPSO.
+	if _, ok := factory(0, len(plan.Choices)+5).(*compress.COMPSO); !ok {
+		t.Fatal("out-of-plan layer did not fall back to COMPSO")
+	}
+}

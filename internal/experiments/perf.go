@@ -185,6 +185,23 @@ func RunPerf(quick bool) (*PerfReport, error) {
 			fn   func() error
 		}{"chunked-compso/decompress", func() error { _, err := chunked.Decompress(cblob); return err }},
 	)
+	// The low-rank family: rank-4 PowerSGD with warm-started queries — the
+	// GEMM-shaped pipeline the ring-all-reduce path charges.
+	ps := compress.NewPowerSGD(4, 7)
+	pblob, err := ps.Compress(src)
+	if err != nil {
+		return nil, err
+	}
+	pipeline = append(pipeline,
+		struct {
+			name string
+			fn   func() error
+		}{"powersgd/compress", func() error { _, err := ps.Compress(src); return err }},
+		struct {
+			name string
+			fn   func() error
+		}{"powersgd/decompress", func() error { _, err := ps.Decompress(pblob); return err }},
+	)
 	for _, p := range pipeline {
 		if err := add(p.name, "pipeline", inBytes, p.fn); err != nil {
 			return nil, err

@@ -100,6 +100,15 @@ func CocktailTorch() Pipeline {
 	return Pipeline{Name: "CocktailSGD (PyTorch)", Launches: 9, PassBytesPerElem: 8.5 * 8}
 }
 
+// PowerSGDGEMM models the low-rank family's factor computation: two thin
+// GEMMs (P = M·Q, Q = Mᵀ·P) each streaming the gradient matrix once with
+// the small-rank accumulators resident, plus a Gram-Schmidt pass over the
+// factors (negligible traffic at small k). Launch count covers the two
+// GEMM kernels and the orthogonalization.
+func PowerSGDGEMM() Pipeline {
+	return Pipeline{Name: "PowerSGD (GEMM)", Launches: 3, PassBytesPerElem: 9}
+}
+
 // Figure8Pipelines returns the pipelines of Figure 8 in plot order.
 func Figure8Pipelines() []Pipeline {
 	return []Pipeline{SZCUDA(), QSGDCUDA(), QSGDTorch(), COMPSOFused(), CocktailTorch()}

@@ -1,0 +1,117 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"compso/internal/compress"
+	"compso/internal/serve"
+)
+
+// ---- low-rank sessions through the registry-backed serving layer ----
+
+// TestPowerSGDSessionBitIdentical: a powersgd session must be
+// bit-identical to direct library construction across warm-started calls.
+func TestPowerSGDSessionBitIdentical(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	id := createSession(t, s, serve.SessionConfig{Compressor: "powersgd", Rank: 8, Seed: 5})
+	ref := compress.NewPowerSGD(8, 5)
+	g := grad(3000, 4)
+	for call := 0; call < 3; call++ {
+		rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(g), nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("call %d: status %d: %s", call, rec.Code, rec.Body)
+		}
+		want, err := ref.Compress(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), want) {
+			t.Fatalf("call %d: served blob differs from direct PowerSGD blob", call)
+		}
+		dec := do(t, s, "POST", "/v1/sessions/"+id+"/decompress", want, nil)
+		if dec.Code != http.StatusOK {
+			t.Fatalf("decompress %d: status %d: %s", call, dec.Code, dec.Body)
+		}
+		if len(bytesF32(dec.Body.Bytes())) != len(g) {
+			t.Fatalf("decompress %d: wrong length", call)
+		}
+	}
+	// PowerSGD pins the stream length; a change is the client's mistake —
+	// 400, never 500.
+	rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(100, 1)), nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("length change: status %d, want 400", rec.Code)
+	}
+}
+
+// TestPowerSGDErrorFeedbackLengthMismatchIs400: the EF wrapper over the
+// low-rank family pins the length on first use; the serve layer must map
+// the mismatch to a 400 (the EF first-use regression, end to end).
+func TestPowerSGDErrorFeedbackLengthMismatchIs400(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	id := createSession(t, s, serve.SessionConfig{Compressor: "powersgd", ErrorFeedback: true, Seed: 2})
+	if rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(1024, 3)), nil); rec.Code != http.StatusOK {
+		t.Fatalf("first compress: status %d: %s", rec.Code, rec.Body)
+	}
+	rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(512, 3)), nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("EF+powersgd length change: status %d, want 400: %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "length") {
+		t.Fatalf("400 body does not mention the length mismatch: %s", rec.Body)
+	}
+	// The session survives the client error at the pinned length.
+	if rec := do(t, s, "POST", "/v1/sessions/"+id+"/compress", f32Bytes(grad(1024, 3)), nil); rec.Code != http.StatusOK {
+		t.Fatalf("pinned length after 400: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestLowRankAliasAndInfo: the "lowrank" alias resolves through the
+// registry and the session reports its canonical compressor name.
+func TestLowRankAliasAndInfo(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	id := createSession(t, s, serve.SessionConfig{Compressor: "lowrank", Seed: 1})
+	rec := do(t, s, "GET", "/v1/sessions/"+id, nil, nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("info: status %d", rec.Code)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.Compressor, "PowerSGD") {
+		t.Fatalf("alias session compressor %q", info.Compressor)
+	}
+}
+
+// TestSessionConfigValidationIs400: out-of-range knobs must be rejected
+// at session create with a 400 — including qsgd bits over 16, which the
+// compressor would have panicked on mid-request before the registry
+// bound was tightened.
+func TestSessionConfigValidationIs400(t *testing.T) {
+	s := newServer(t, serve.Config{})
+	cases := []serve.SessionConfig{
+		{Compressor: "qsgd", Bits: 32},
+		{Compressor: "qsgd", Bits: 1},
+		{Compressor: "powersgd", Rank: -1},
+		{Compressor: "powersgd", Rank: 100000},
+		{Compressor: "zfp"},
+	}
+	for _, cfg := range cases {
+		body, _ := json.Marshal(cfg)
+		rec := do(t, s, "POST", "/v1/sessions", body, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%+v: status %d, want 400: %s", cfg, rec.Code, rec.Body)
+		}
+	}
+	// The unknown-family error must list what IS available.
+	body, _ := json.Marshal(serve.SessionConfig{Compressor: "zfp"})
+	rec := do(t, s, "POST", "/v1/sessions", body, nil)
+	if !strings.Contains(rec.Body.String(), "powersgd") {
+		t.Fatalf("unknown-family 400 does not list families: %s", rec.Body)
+	}
+}

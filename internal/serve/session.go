@@ -21,8 +21,8 @@ type SessionConfig struct {
 	// Tenant groups sessions for admission control and metrics. Empty maps
 	// to "default".
 	Tenant string `json:"tenant"`
-	// Compressor selects the family: "compso" (default), "qsgd", "sz" or
-	// "cocktail".
+	// Compressor selects the family from the compress registry: "compso"
+	// (default), "qsgd", "sz", "cocktail" or "powersgd".
 	Compressor string `json:"compressor"`
 	// Codec names the lossless back-end for COMPSO (see /v1/codecs);
 	// default "ans". Per-request override: the X-Compso-Codec header or an
@@ -40,6 +40,10 @@ type SessionConfig struct {
 	Bits int `json:"bits"`
 	// Keep is cocktail's top-k keep fraction (default 0.04).
 	Keep float64 `json:"keep"`
+	// Rank is powersgd's factorization rank (default 4). PowerSGD
+	// sessions are stateful streams: every compress request must carry
+	// the same gradient length (pinned on first use).
+	Rank int `json:"rank"`
 	// ErrorFeedback wraps the compressor with an error-feedback residual.
 	// EF sessions must send same-length gradients on every request.
 	ErrorFeedback bool `json:"error_feedback"`
@@ -102,7 +106,10 @@ type Session struct {
 	cfg SessionConfig
 }
 
-// normalize fills defaults and validates the config.
+// normalize fills defaults and validates the config. Family names resolve
+// through the compress registry (case-insensitively, aliases included),
+// and the per-family parameter validation mirrors the registry's so a bad
+// config fails here with a 400 instead of surfacing at the first request.
 func (c *SessionConfig) normalize() error {
 	if c.Tenant == "" {
 		c.Tenant = "default"
@@ -110,6 +117,11 @@ func (c *SessionConfig) normalize() error {
 	if c.Compressor == "" {
 		c.Compressor = "compso"
 	}
+	family, err := compress.CanonicalFamily(c.Compressor)
+	if err != nil {
+		return fmt.Errorf("unknown compressor %q (have %v)", c.Compressor, compress.Families())
+	}
+	c.Compressor = family
 	switch c.Compressor {
 	case "compso":
 		if c.Codec == "" {
@@ -133,8 +145,11 @@ func (c *SessionConfig) normalize() error {
 		if c.Bits == 0 {
 			c.Bits = 4
 		}
-		if c.Bits < 2 || c.Bits > 32 {
-			return fmt.Errorf("qsgd bits %d out of range [2,32]", c.Bits)
+		// The registry bound: QSGD's Elias-gamma path supports widths up
+		// to 16 (wider configs previously slipped past validation and
+		// panicked at the first compress call).
+		if c.Bits < 2 || c.Bits > 16 {
+			return fmt.Errorf("qsgd bits %d out of range [2,16]", c.Bits)
 		}
 	case "sz":
 		if c.RelEB == 0 {
@@ -153,8 +168,13 @@ func (c *SessionConfig) normalize() error {
 		if c.Keep <= 0 || c.Keep > 1 {
 			return fmt.Errorf("cocktail keep %g out of (0,1]", c.Keep)
 		}
-	default:
-		return fmt.Errorf("unknown compressor %q", c.Compressor)
+	case "powersgd":
+		if c.Rank == 0 {
+			c.Rank = 4
+		}
+		if c.Rank < 1 || c.Rank > 256 {
+			return fmt.Errorf("powersgd rank %d out of range [1,256]", c.Rank)
+		}
 	}
 	if c.Adapt != nil {
 		if c.Compressor != "compso" {
@@ -187,52 +207,60 @@ func lookupCodec(name string) (encoding.Codec, error) {
 }
 
 // newSession builds the session's compressor stack from a normalized
-// config.
+// config by resolving through the compress registry — the same
+// construction path as the library facade and the command-line tools, so
+// equal configs are bit-identical across all three.
 func newSession(id string, cfg SessionConfig) (*Session, error) {
 	sess := &Session{id: id, tenant: cfg.Tenant, cfg: cfg}
-	switch cfg.Compressor {
-	case "compso":
-		c := compress.NewCOMPSO(cfg.Seed)
-		c.EBFilter = cfg.EBFilter
-		c.EBQuant = cfg.EBQuant
-		if cfg.Filter != nil {
-			c.FilterEnabled = *cfg.Filter
-		}
+	o := compress.Options{
+		Seed:          cfg.Seed,
+		EBFilter:      cfg.EBFilter,
+		EBQuant:       cfg.EBQuant,
+		Filter:        cfg.Filter,
+		Bits:          cfg.Bits,
+		Keep:          cfg.Keep,
+		RelEB:         cfg.RelEB,
+		Rank:          cfg.Rank,
+		ErrorFeedback: cfg.ErrorFeedback,
+	}
+	if cfg.Compressor == "compso" {
 		cdc, err := lookupCodec(cfg.Codec)
 		if err != nil {
 			return nil, err
 		}
-		c.Codec = cdc
-		sess.compso = c
-		sess.comp = c
-		if a := cfg.Adapt; a != nil {
-			var sched opt.Schedule
-			firstDrop := a.FirstDrop
-			if firstDrop <= 0 {
-				firstDrop = a.TotalIters / 2
-			}
-			if a.Schedule == "smooth" {
-				sched = &opt.SmoothLR{}
-			} else {
-				sched = &opt.StepLR{Drops: []int{firstDrop}}
-			}
-			ctrl := internalcompso.DefaultController(sched, a.TotalIters)
-			if err := ctrl.Validate(); err != nil {
-				return nil, err
-			}
-			sess.ctrl = ctrl
-		}
-	case "qsgd":
-		sess.comp = compress.NewQSGD(cfg.Bits, cfg.Seed)
-	case "sz":
-		sess.comp = compress.NewSZ(cfg.RelEB)
-	case "cocktail":
-		sess.comp = compress.NewCocktailSGD(cfg.Keep, cfg.Bits, cfg.Seed)
-	default:
-		return nil, fmt.Errorf("unknown compressor %q", cfg.Compressor)
+		o.Codec = cdc
 	}
-	if cfg.ErrorFeedback {
-		sess.comp = compress.NewErrorFeedback(sess.comp)
+	comp, err := compress.ByName(cfg.Compressor, o)
+	if err != nil {
+		return nil, err
+	}
+	sess.comp = comp
+	// The compso family keeps a concrete handle for per-request codec
+	// negotiation and the adapt controller, through an EF wrapper if one
+	// is configured.
+	inner := comp
+	if ef, ok := comp.(*compress.ErrorFeedback); ok {
+		inner = ef.Inner
+	}
+	if cc, ok := inner.(*compress.COMPSO); ok {
+		sess.compso = cc
+	}
+	if a := cfg.Adapt; a != nil {
+		var sched opt.Schedule
+		firstDrop := a.FirstDrop
+		if firstDrop <= 0 {
+			firstDrop = a.TotalIters / 2
+		}
+		if a.Schedule == "smooth" {
+			sched = &opt.SmoothLR{}
+		} else {
+			sched = &opt.StepLR{Drops: []int{firstDrop}}
+		}
+		ctrl := internalcompso.DefaultController(sched, a.TotalIters)
+		if err := ctrl.Validate(); err != nil {
+			return nil, err
+		}
+		sess.ctrl = ctrl
 	}
 	sess.lastUsed.Store(time.Now().UnixNano())
 	return sess, nil
@@ -308,7 +336,8 @@ func (s *Session) decompress(blob []byte) ([]float32, error) {
 
 // close marks the session dead. The lock excludes in-flight codec use, so a
 // concurrent request finishes cleanly (and returns its pooled buffers)
-// before the state is dropped; EF residuals are released for GC here.
+// before the state is dropped; stream state (EF residuals, PowerSGD
+// factors) is released uniformly through the Stateful contract here.
 func (s *Session) close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -316,8 +345,8 @@ func (s *Session) close() {
 		return
 	}
 	s.closed = true
-	if ef, ok := s.comp.(*compress.ErrorFeedback); ok {
-		ef.Reset()
+	if st, ok := s.comp.(compress.Stateful); ok {
+		st.Reset()
 	}
 }
 

@@ -123,7 +123,7 @@ func decodeGathered(fc *faultCtx, w *cluster.Worker, tel *tele, comp compress.Co
 func installPart(fc *faultCtx, w *cluster.Worker, cfg Config, tel *tele, st *kfacState,
 	comp compress.Compressor, it, sender int, part, ownPayload, ownRaw []byte) error {
 
-	lossless := comp == nil
+	lossless := comp == nil && !st.perLayer
 	if fc == nil {
 		return st.parsePart(w, cfg, tel, comp, sender, part, lossless)
 	}

@@ -96,8 +96,15 @@ func (t *tele) endPhase(id obs.SpanID) {
 // compress charges the modeled fused-kernel time for compressing n float32
 // values and records a compress span plus ratio/wire-size metrics.
 func (t *tele) compress(n, blobBytes int, label string) {
+	t.compressWith(t.pipe, n, blobBytes, label)
+}
+
+// compressWith is compress with an explicit kernel pipeline — the
+// low-rank path charges its GEMM-shaped pipeline instead of the default
+// fused COMPSO kernel.
+func (t *tele) compressWith(pipe gpusim.Pipeline, n, blobBytes int, label string) {
 	start := t.w.Time()
-	t.w.Compute(t.dev.Time(t.pipe, n), "compress")
+	t.w.Compute(t.dev.Time(pipe, n), "compress")
 	if t.rec == nil {
 		return
 	}
@@ -118,8 +125,13 @@ func (t *tele) compress(n, blobBytes int, label string) {
 // decompress charges the modeled decode time for recovering n float32
 // values from a blobBytes-sized buffer and records a decompress span.
 func (t *tele) decompress(n, blobBytes int, label string) {
+	t.decompressWith(t.pipe, n, blobBytes, label)
+}
+
+// decompressWith is decompress with an explicit kernel pipeline.
+func (t *tele) decompressWith(pipe gpusim.Pipeline, n, blobBytes int, label string) {
 	start := t.w.Time()
-	t.w.Compute(t.dev.DecompressTime(t.pipe, n), "decompress")
+	t.w.Compute(t.dev.DecompressTime(pipe, n), "decompress")
 	if t.rec == nil {
 		return
 	}

@@ -50,8 +50,18 @@ type Config struct {
 	// all-reduces (KAISA amortization).
 	StatFreq int
 	// NewCompressor creates each worker's gradient compressor; nil trains
-	// uncompressed.
+	// uncompressed. Compressors implementing compress.AllReducible
+	// (PowerSGD, optionally EF-wrapped) switch the first-order gradient
+	// exchange from the blob all-gather to the alternating-factor ring
+	// all-reduce.
 	NewCompressor func(rank int) compress.Compressor
+	// NewLayerCompressor, when set, gives the K-FAC preconditioned-
+	// gradient exchange a compressor per layer (e.g. a LayerPlan's
+	// low-rank-for-large-2D-layers assignment via LayerPlan.Compressors).
+	// It requires UseKFAC, AggregationM == 1 (each all-gather frame is
+	// one layer) and a nil NewCompressor; receivers decode the mixed-
+	// family frames through compress.Decode.
+	NewLayerCompressor func(rank, layer int) compress.Compressor
 	// Controller adapts COMPSO error bounds per iteration (only meaningful
 	// when NewCompressor yields *compress.COMPSO).
 	Controller *compso.Controller
@@ -141,6 +151,17 @@ func Run(c Config) (*Result, error) {
 	if cfg.Workers <= 0 || cfg.Iters <= 0 || cfg.BuildTask == nil || cfg.Schedule == nil {
 		return nil, fmt.Errorf("train: incomplete config %+v", cfg)
 	}
+	if cfg.NewLayerCompressor != nil {
+		if !cfg.UseKFAC {
+			return nil, fmt.Errorf("train: NewLayerCompressor requires UseKFAC")
+		}
+		if cfg.AggregationM != 1 {
+			return nil, fmt.Errorf("train: NewLayerCompressor requires AggregationM == 1, got %d", cfg.AggregationM)
+		}
+		if cfg.NewCompressor != nil {
+			return nil, fmt.Errorf("train: NewLayerCompressor and NewCompressor are mutually exclusive")
+		}
+	}
 	inj, err := fault.NewInjector(cfg.Fault)
 	if err != nil {
 		return nil, fmt.Errorf("train: %w", err)
@@ -212,6 +233,16 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 	if cfg.NewCompressor != nil {
 		comp = cfg.NewCompressor(w.Rank())
 	}
+	// Per-layer compressors are built once per worker for its owned
+	// layers, so stateful families (PowerSGD warm starts, EF residuals)
+	// persist across steps exactly like the single-compressor path.
+	var layerComps map[int]compress.Compressor
+	if cfg.NewLayerCompressor != nil && cfg.UseKFAC {
+		layerComps = make(map[int]compress.Compressor)
+		for _, li := range ownedLayers(optimizer.NumLayers(), w.Size(), w.Rank()) {
+			layerComps[li] = cfg.NewLayerCompressor(w.Rank(), li)
+		}
+	}
 
 	evalGen := func() *rand.Rand { return xrand.NewSeeded(cfg.Seed*77 + 13) }
 	tel := newTele(w)
@@ -234,7 +265,7 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 		lr := cfg.Schedule.LR(it)
 		if cfg.UseKFAC {
-			if err := kfacIteration(w, cfg, task, optimizer, comp, it, lr, tel, fc, cr); err != nil {
+			if err := kfacIteration(w, cfg, task, optimizer, comp, layerComps, it, lr, tel, fc, cr); err != nil {
 				return err
 			}
 		} else {
@@ -314,6 +345,13 @@ func sgdIteration(w *cluster.Worker, task *modelzoo.ProxyTask, sgd *opt.SGD,
 	defer tel.endPhase(phase)
 	if comp == nil {
 		allReduceGrads(w, task.Model, "grad-allreduce")
+	} else if ar, ef := ringCompressor(comp); ar != nil {
+		// Low-rank family: the alternating P/Q factors aggregate as a
+		// sum, so the exchange is a ring all-reduce over one factor
+		// instead of an all-gather of per-rank blobs.
+		if err := lowrankSync(w, task.Model, ar, ef, tel, cr, "grad-lowrank-allreduce"); err != nil {
+			return err
+		}
 	} else {
 		// Compressed exchange: each worker compresses its local gradient,
 		// all-gathers, and averages the decompressed replicas — the
@@ -405,9 +443,13 @@ func chargeGathered(tel *tele, vals []float32, decErr error, blobBytes, sender, 
 	return vals, nil
 }
 
-// kfacIteration is the distributed K-FAC path of Figure 2.
+// kfacIteration is the distributed K-FAC path of Figure 2. layerComps,
+// when non-nil, selects a compressor per owned layer for the
+// preconditioned-gradient exchange (AggregationM == 1, enforced by Run);
+// receivers decode the mixed-family frames through compress.Decode.
 func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
-	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
+	comp compress.Compressor, layerComps map[int]compress.Compressor,
+	it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
 	// Step 0: standard data-parallel gradient average.
 	phase := tel.beginPhase("grad-sync")
 	allReduceGrads(w, task.Model, "grad-allreduce")
@@ -478,13 +520,18 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 			grads = append(grads, vals)
 		}
 		flat := compso.Concat(grads)
-		if comp != nil {
-			blob, err := comp.Compress(flat)
+		gcomp := comp
+		if layerComps != nil {
+			// AggregationM == 1: each group is exactly one owned layer.
+			gcomp = layerComps[owned[g[0]]]
+		}
+		if gcomp != nil {
+			blob, err := gcomp.Compress(flat)
 			if err != nil {
 				return err
 			}
-			tel.compress(len(flat), len(blob), "kfac-allgather")
-			tel.filterStats(comp)
+			tel.compressWith(compressorPipe(gcomp), len(flat), len(blob), "kfac-allgather")
+			tel.filterStats(gcomp)
 			recordCR(len(flat), len(blob), cr)
 			payload = binary.AppendUvarint(payload, uint64(len(blob)))
 			payload = append(payload, blob...)
@@ -511,7 +558,7 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 	// enabled each sender frame goes through the serial corrupt → retry →
 	// lossless-fallback ladder, whose recovery broadcasts are collectives
 	// every rank must enter in lockstep.
-	st := &kfacState{k: k}
+	st := &kfacState{k: k, perLayer: layerComps != nil}
 	if fc == nil {
 		if err := installPartsParallel(w, cfg, tel, st, comp, parts); err != nil {
 			return err
@@ -528,9 +575,12 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 }
 
 // kfacState wraps the optimizer for frame-by-frame installation of gathered
-// preconditioned gradients.
+// preconditioned gradients. perLayer marks a mixed-family per-layer
+// compressor plan: frames then decode through compress.Decode (magic-byte
+// dispatch) instead of a single shared compressor.
 type kfacState struct {
-	k *kfac.KFAC
+	k        *kfac.KFAC
+	perLayer bool
 }
 
 // parsePart decodes one sender's uvarint-framed all-gather payload and
@@ -556,9 +606,13 @@ func (st *kfacState) parsePart(w *cluster.Worker, cfg Config, tel *tele,
 		blob := part[pos : pos+int(blobLen)]
 		pos += int(blobLen)
 		var flat []float32
-		if !lossless && comp != nil {
+		if !lossless && (comp != nil || st.perLayer) {
 			var err error
-			flat, err = comp.Decompress(blob)
+			if st.perLayer {
+				flat, err = compress.Decode(blob)
+			} else {
+				flat, err = comp.Decompress(blob)
+			}
 			if err != nil {
 				return err
 			}
@@ -624,7 +678,7 @@ func installPartsParallel(w *cluster.Worker, cfg Config, tel *tele, st *kfacStat
 	comp compress.Compressor, parts [][]byte) error {
 
 	k := st.k
-	lossless := comp == nil
+	lossless := comp == nil && !st.perLayer
 	type frame struct {
 		sender int
 		blob   []byte
@@ -660,6 +714,8 @@ func installPartsParallel(w *cluster.Worker, cfg Config, tel *tele, st *kfacStat
 			}
 			f.vals = bytesToF32Pooled(f.blob)
 			f.pooled = true
+		} else if st.perLayer {
+			f.vals, f.err = compress.Decode(f.blob)
 		} else {
 			f.vals, f.err = comp.Decompress(f.blob)
 		}

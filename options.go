@@ -1,6 +1,9 @@
 package compso
 
 import (
+	"fmt"
+	"strings"
+
 	"compso/internal/compress"
 	"compso/internal/obs"
 )
@@ -41,6 +44,14 @@ type compressorConfig struct {
 	filterSet   bool
 	codec       Codec
 	observer    *Observer
+
+	family     string
+	rank       int
+	rows, cols int
+	bits       int
+	keep       float64
+	relEB      float64
+	ef         bool
 }
 
 // WithSeed sets the deterministic stochastic-rounding stream. Distributed
@@ -79,33 +90,134 @@ func WithObserver(o *Observer) Option {
 	return func(c *compressorConfig) { c.observer = o }
 }
 
-// New builds a COMPSO compressor from functional options. With no options
-// it matches NewCompressor(0): filter+SR at the paper's default bounds
-// (eb_f = eb_q = 4e-3) with the ANS back-end and a deterministic
-// stochastic-rounding stream.
+// WithFamily selects the compressor family for NewCompressorFor (see
+// Families for the registry: "compso", "qsgd", "sz", "cocktail",
+// "powersgd"). Names are matched case-insensitively.
+func WithFamily(name string) Option {
+	return func(c *compressorConfig) { c.family = name }
+}
+
+// WithRank sets the powersgd factorization rank k (default 4). Wire
+// volume scales with k·(rows+cols), reconstruction quality with k.
+func WithRank(k int) Option {
+	return func(c *compressorConfig) { c.rank = k }
+}
+
+// WithShape pins the powersgd 2D gradient view (e.g. a layer's natural
+// ADim×GDim). Unset, the family uses a near-square reshape of the first
+// gradient's length.
+func WithShape(rows, cols int) Option {
+	return func(c *compressorConfig) { c.rows, c.cols = rows, cols }
+}
+
+// WithBits sets the quantization width for the qsgd and cocktail families
+// (defaults 4 and 8).
+func WithBits(bits int) Option {
+	return func(c *compressorConfig) { c.bits = bits }
+}
+
+// WithKeepFraction sets the cocktail family's top-k keep fraction
+// (default 0.04).
+func WithKeepFraction(f float64) Option {
+	return func(c *compressorConfig) { c.keep = f }
+}
+
+// WithRelErrorBound sets the sz family's range-relative error bound
+// (default 1e-3).
+func WithRelErrorBound(eb float64) Option {
+	return func(c *compressorConfig) { c.relEB = eb }
+}
+
+// WithErrorFeedback wraps the built compressor with an error-feedback
+// residual — the uniform EF composition for every lossy family. EF
+// streams must send same-length gradients on every call (the length is
+// pinned on first use).
+func WithErrorFeedback() Option {
+	return func(c *compressorConfig) { c.ef = true }
+}
+
+// registryOptions lowers the accumulated functional options to the
+// internal registry's option struct, preserving New's historical
+// semantics for the filter toggle (a non-positive filter bound disables
+// the stage).
+func (c *compressorConfig) registryOptions() compress.Options {
+	o := compress.Options{
+		Seed:    c.seed,
+		EBQuant: max(c.errorBound, 0),
+		Codec:   c.codec,
+		Obs:     c.observer,
+		Bits:    c.bits,
+		Keep:    c.keep,
+		RelEB:   c.relEB,
+		Rank:    c.rank,
+		Rows:    c.rows,
+		Cols:    c.cols,
+	}
+	if c.filterSet {
+		enabled := c.filterBound > 0
+		o.Filter = &enabled
+		if enabled {
+			o.EBFilter = c.filterBound
+		}
+	}
+	o.ErrorFeedback = c.ef
+	return o
+}
+
+// New builds a COMPSO compressor from functional options, resolving
+// through the family registry. With no options it matches
+// NewCompressor(0): filter+SR at the paper's default bounds (eb_f = eb_q =
+// 4e-3) with the ANS back-end and a deterministic stochastic-rounding
+// stream.
 //
-// New is the primary constructor; the positional NewCompressor remains as
-// a thin wrapper for existing callers.
+// New always returns the concrete *COMPSO type; it panics when given
+// WithFamily for a different family or WithErrorFeedback (which would
+// change the return type) — use NewCompressorFor for those.
 func New(opts ...Option) *COMPSO {
 	cfg := compressorConfig{}
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	comp := compress.NewCOMPSO(cfg.seed)
-	if cfg.errorBound > 0 {
-		comp.EBQuant = cfg.errorBound
-	}
-	if cfg.filterSet {
-		if cfg.filterBound > 0 {
-			comp.EBFilter = cfg.filterBound
-			comp.FilterEnabled = true
-		} else {
-			comp.FilterEnabled = false
+	if cfg.family != "" {
+		if f, err := compress.CanonicalFamily(cfg.family); err != nil || f != "compso" {
+			panic("compso.New builds the COMPSO family; use NewCompressorFor(" + cfg.family + ", ...)")
 		}
 	}
-	if cfg.codec != nil {
-		comp.Codec = cfg.codec
+	if cfg.ef {
+		panic("compso.New returns *COMPSO; use NewCompressorFor for error-feedback wrapping")
 	}
-	comp.Obs = cfg.observer
-	return comp
+	c, err := compress.ByName("compso", cfg.registryOptions())
+	if err != nil {
+		panic("compso.New: " + err.Error())
+	}
+	return c.(*COMPSO)
+}
+
+// NewCompressorFor builds any registered compressor family by name from
+// functional options — the registry-backed replacement for the ad-hoc
+// NewQSGD/NewSZ/NewCocktailSGD constructors:
+//
+//	c, err := compso.NewCompressorFor("powersgd",
+//		compso.WithRank(4), compso.WithSeed(7), compso.WithErrorFeedback())
+//
+// The family argument may be empty when WithFamily is among the options;
+// an explicit argument and a conflicting WithFamily is an error. Unknown
+// names return an error wrapping ErrUnknownFamily listing Families().
+// Builds are bit-identical to direct construction with the same
+// parameters, and WithErrorFeedback composes uniformly on every family.
+func NewCompressorFor(family string, opts ...Option) (Compressor, error) {
+	cfg := compressorConfig{}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	switch {
+	case family == "":
+		family = cfg.family
+		if family == "" {
+			family = "compso"
+		}
+	case cfg.family != "" && !strings.EqualFold(cfg.family, family):
+		return nil, fmt.Errorf("compso: family %q conflicts with WithFamily(%q)", family, cfg.family)
+	}
+	return compress.ByName(family, cfg.registryOptions())
 }
