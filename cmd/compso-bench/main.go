@@ -50,6 +50,17 @@
 //	compso-bench lowrank                # full judge run
 //	compso-bench lowrank -quick -validate # CI smoke: judge + perf-row check
 //	compso-bench lowrank -json rows.json  # machine-readable report
+//
+// Overlap scheduler judge: "compso-bench overlap" prices one K-FAC+COMPSO
+// step per modelzoo profile under the sequential schedule and under the
+// compute/communication overlap pipeline (tensor-fusion buckets +
+// per-round preconditioned exchange), and with -validate also reruns the
+// proxy trainer with the scheduler off and on to prove the two answers
+// are bit-identical while the hidden-communication gauge moves:
+//
+//	compso-bench overlap                  # full judge run
+//	compso-bench overlap -quick -validate # CI smoke: judge + trainer leg
+//	compso-bench overlap -json rows.json  # machine-readable report
 package main
 
 import (
@@ -74,6 +85,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "lowrank" {
 		lowrankMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "overlap" {
+		overlapMain(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, comm, ablation")

@@ -13,7 +13,7 @@ import (
 func perfMain(args []string) {
 	fs := flag.NewFlagSet("perf", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "smaller input and measurement budget (CI smoke)")
-	out := fs.String("out", "BENCH_PR7.json", "write the JSON report here (empty = stdout table only)")
+	out := fs.String("out", "BENCH_PR8.json", "write the JSON report here (empty = stdout table only)")
 	validatePath := fs.String("validate", "", "validate an existing bench-perf JSON file and exit")
 	fs.Parse(args)
 

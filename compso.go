@@ -293,6 +293,22 @@ func WithTrainObserver(o *Observer) TrainOption {
 	return func(c *TrainConfig) { c.Obs = o }
 }
 
+// WithOverlap toggles the compute/communication overlap scheduler
+// (TrainConfig.Overlap): gradients exchange through fused buckets whose
+// collectives launch asynchronously, and the K-FAC factor exchange
+// pipelines against the owned-layer eigendecompositions. Results are
+// bit-identical to the sequential path; only the simulated schedule (and
+// therefore CommSeconds) changes. Off by default.
+func WithOverlap(on bool) TrainOption {
+	return func(c *TrainConfig) { c.Overlap = on }
+}
+
+// WithFusionBytes sets the overlap scheduler's tensor-fusion bucket size
+// in bytes (TrainConfig.FusionBytes); n <= 0 keeps the 25 MB default.
+func WithFusionBytes(n int) TrainOption {
+	return func(c *TrainConfig) { c.FusionBytes = n }
+}
+
 // TrainWith applies options on top of a base TrainConfig and runs it — the
 // functional-options companion to Train for fault/observability toggles:
 //

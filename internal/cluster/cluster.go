@@ -8,6 +8,7 @@ import (
 	"compso/internal/collective"
 	"compso/internal/fault"
 	"compso/internal/obs"
+	"compso/internal/pool"
 )
 
 // Cluster executes an SPMD function on P simulated workers (goroutines).
@@ -25,6 +26,15 @@ type Cluster struct {
 
 	pairMu sync.Mutex
 	pairs  map[pairKey]*pairSlot
+
+	// serializeWire queues engine-scheduled collectives on a single wire
+	// cursor (wireTail), so collectives launched back-to-back without
+	// blocking (the async handles) occupy the fabric one after another
+	// instead of each being scheduled as if it had the links to itself.
+	// Both fields are only touched inside rendezvous combines, which run
+	// single-threaded with every rank blocked.
+	serializeWire bool
+	wireTail      float64
 }
 
 // traceCap bounds each worker's retained event trace (most recent events
@@ -75,6 +85,44 @@ func (c *Cluster) InjectFaults(inj *fault.Injector) {
 
 // Faults returns the installed fault injector (nil when fault-free).
 func (c *Cluster) Faults() *fault.Injector { return c.faults }
+
+// SerializeWire enables (or disables) wire serialization for the async
+// collective handles: each engine-scheduled collective starts no earlier
+// than the previous one's makespan end. For a purely blocking workload the
+// clamp changes nothing at the schedule level — every rank leaves a
+// collective at or after its own end, so the next collective's last
+// arrival is never before the previous makespan — but per-rank early
+// finishers can arrive under the cursor, so the mode is off by default and
+// only the overlap scheduler turns it on. Call before Run.
+func (c *Cluster) SerializeWire(on bool) { c.serializeWire = on }
+
+// wireStarts returns each rank's effective start time for the next
+// engine-scheduled collective, clamped to the wire cursor when
+// serialization is on. Must be called inside a rendezvous combine.
+func (c *Cluster) wireStarts(times []float64) []float64 {
+	if !c.serializeWire {
+		return times
+	}
+	eff := make([]float64, len(times))
+	for i, t := range times {
+		if t < c.wireTail {
+			t = c.wireTail
+		}
+		eff[i] = t
+	}
+	return eff
+}
+
+// advanceWire moves the wire cursor past a scheduled collective. Must be
+// called inside a rendezvous combine.
+func (c *Cluster) advanceWire(out *collective.Outcome) {
+	if !c.serializeWire {
+		return
+	}
+	if m := out.MaxEnd(); m > c.wireTail {
+		c.wireTail = m
+	}
+}
 
 // Observe attaches an observability recorder: every collective records a
 // per-rank span covering exactly the simulated time the rank was blocked
@@ -135,6 +183,14 @@ type Worker struct {
 	// makespan and its fault-free cost-model prediction — the divergence
 	// signal the training loop's straggler guard watches.
 	measSchedule, predSchedule float64
+	// commExposed accumulates the seconds this worker actually spent
+	// blocked on collectives — the exposed (non-hidden) communication
+	// time. commFull accumulates each collective's full launch-to-end
+	// latency: blocking calls add the same amount to both, async waits
+	// add only the non-hidden remainder to commExposed. 1 − exposed/full
+	// is the overlap-efficiency gauge.
+	commExposed float64
+	commFull    float64
 }
 
 // Rank returns the worker's 0-based rank.
@@ -168,6 +224,18 @@ func (w *Worker) SetStep(it int) { w.step = it }
 
 // Step returns the last step set by SetStep.
 func (w *Worker) Step() int { return w.step }
+
+// OverlapStats returns the seconds this worker spent blocked on
+// collectives (exposed communication) alongside the full launch-to-end
+// latency of every collective it participated in. For blocking calls the
+// two are equal; an async handle whose Wait the clock has already passed
+// contributes its full latency but zero exposure. Their ratio is the
+// overlap scheduler's efficiency signal: hidden fraction = 1 − exposed /
+// total, identically 0 for a fully sequential run. Read after Run, or
+// from the worker's own goroutine.
+func (w *Worker) OverlapStats() (exposed, total float64) {
+	return w.commExposed, w.commFull
+}
 
 // ScheduleSeconds returns the worker's accumulated executed-collective
 // makespan seconds alongside the fault-free cost-model prediction for the
@@ -246,6 +314,8 @@ func (w *Worker) note(out *collective.Outcome, tEnd float64, category string) {
 	w.predSchedule += out.Predicted
 	if tEnd > w.simTime {
 		w.algStats[out.Op+"/"+out.Algorithm] += tEnd - w.simTime
+		w.commExposed += tEnd - w.simTime
+		w.commFull += tEnd - w.simTime
 	}
 	if rec := w.cluster.rec; rec != nil {
 		w.noteObs(rec, out, tEnd, category)
@@ -338,7 +408,8 @@ func (w *Worker) AllReduce(data []float64, category string) {
 		for i, s := range slots {
 			vecs[i] = s.([]float64)
 		}
-		sum, out := c.engine.AllReduce(vecs, times)
+		sum, out := c.engine.AllReduce(vecs, c.wireStarts(times))
+		c.advanceWire(out)
 		return sameForAll(c.p, collResult{data: sum, out: out}), out.Ends
 	})
 	cr := res.(collResult)
@@ -351,13 +422,15 @@ func (w *Worker) AllReduce(data []float64, category string) {
 // returns all payloads in rank order — the collective COMPSO compresses.
 // The schedule uses the actual per-worker sizes.
 func (w *Worker) AllGather(payload []byte, category string) [][]byte {
+	pool.AssertNotArena(payload, "AllGather payload")
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
 		payloads := make([][]byte, len(slots))
 		for i, s := range slots {
 			payloads[i], _ = s.([]byte)
 		}
-		data, out := c.engine.AllGather(payloads, times)
+		data, out := c.engine.AllGather(payloads, c.wireStarts(times))
+		c.advanceWire(out)
 		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
 	cr := res.(collResult)
@@ -368,13 +441,15 @@ func (w *Worker) AllGather(payload []byte, category string) [][]byte {
 
 // Broadcast sends root's payload to every worker.
 func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
+	pool.AssertNotArena(payload, "Broadcast payload")
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
 		bufs := make([][]byte, len(slots))
 		for i, s := range slots {
 			bufs[i], _ = s.([]byte)
 		}
-		data, out := c.engine.Broadcast(bufs, root, times)
+		data, out := c.engine.Broadcast(bufs, root, c.wireStarts(times))
+		c.advanceWire(out)
 		return sameForAll(c.p, collResult{data: data, out: out}), out.Ends
 	})
 	cr := res.(collResult)
@@ -394,7 +469,8 @@ func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
 		for i, s := range slots {
 			vecs[i] = s.([]float64)
 		}
-		shards, out := c.engine.ReduceScatter(vecs, times)
+		shards, out := c.engine.ReduceScatter(vecs, c.wireStarts(times))
+		c.advanceWire(out)
 		res := make([]any, c.p)
 		for r := range res {
 			res[r] = collResult{data: shards[r], out: out}

@@ -158,8 +158,12 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 
 	// Encode every section back to back into one pooled scratch, recording
 	// cumulative boundaries, so the final blob is cut with a single
-	// exact-size allocation.
-	scratch := pool.Bytes(n/2 + 64)[:0]
+	// exact-size allocation. The original arena handle is kept because
+	// EncodeAppend may grow scratch onto a fresh heap array: only the
+	// handle goes back to the pool — returning the grown slice would hand
+	// the arena a foreign buffer and leak the pooled one.
+	scratchBuf := pool.Bytes(n/2 + 64)
+	scratch := scratchBuf[:0]
 	scratch = encoding.EncodeAppend(cdc, scratch, bitmap)
 	if bitmap != nil {
 		pool.PutBytes(bitmap)
@@ -172,10 +176,13 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 	nSections := 0
 	if c.BitPacked {
 		// §4.3 ablation: dense bit packing in a single plane-like section.
+		// Wide codes (width > 8 bits) overflow the kept+16 guess and make
+		// PackZigs grow onto a fresh array, so Put the original handle.
 		options |= 1
-		packed := quant.PackZigs(pool.Bytes(kept+16), zigs, maxZig)
+		packedBuf := pool.Bytes(kept + 16)
+		packed := quant.PackZigs(packedBuf, zigs, maxZig)
 		scratch = encoding.EncodeAppend(cdc, scratch, packed)
-		pool.PutBytes(packed)
+		pool.PutBytes(packedBuf)
 		nSections = 1
 		ends[0] = len(scratch)
 	} else {
@@ -216,7 +223,7 @@ func (c *COMPSO) Compress(src []float32) ([]byte, error) {
 		out = append(out, scratch[prev:ends[p]]...)
 		prev = ends[p]
 	}
-	pool.PutBytes(scratch)
+	pool.PutBytes(scratchBuf)
 	c.observe(n, len(out))
 	return out, nil
 }

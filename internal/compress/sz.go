@@ -74,7 +74,10 @@ func (s *SZ) Compress(src []float32) ([]byte, error) {
 	// Byte-plane layout keeps the Huffman symbols byte-aligned (cuSZ's
 	// codebook likewise works on byte-sized quant codes).
 	nPlanes := quant.PlaneCount(maxZig)
-	scratch := pool.Bytes(n/2 + 64)[:0]
+	// Put scratchBuf, not scratch: EncodeAppend may grow the slice onto a
+	// fresh heap array, and the arena must get its own buffer back.
+	scratchBuf := pool.Bytes(n/2 + 64)
+	scratch := scratchBuf[:0]
 	plane := pool.Bytes(n)
 	var ends [4]int
 	for p := 0; p < nPlanes; p++ {
@@ -101,7 +104,7 @@ func (s *SZ) Compress(src []float32) ([]byte, error) {
 		out = append(out, scratch[prevEnd:ends[p]]...)
 		prevEnd = ends[p]
 	}
-	pool.PutBytes(scratch)
+	pool.PutBytes(scratchBuf)
 	return out, nil
 }
 

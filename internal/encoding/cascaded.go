@@ -28,9 +28,14 @@ func (Cascaded) EncodeAppend(dst, src []byte) []byte {
 	if len(src) == 0 {
 		return out
 	}
-	// Stage 1: RLE into (value, runLength) pairs.
-	values := pool.Bytes(256)[:0]
-	runs := pool.U32(256)[:0]
+	// Stage 1: RLE into (value, runLength) pairs. The appends below can
+	// outgrow the 256-element arena buffers onto fresh heap arrays, so the
+	// original handles are kept and Put at the end — the arena must never
+	// be handed a grown foreign slice.
+	valuesBuf := pool.Bytes(256)
+	runsBuf := pool.U32(256)
+	values := valuesBuf[:0]
+	runs := runsBuf[:0]
 	cur := src[0]
 	var run uint32 = 1
 	for _, b := range src[1:] {
@@ -66,16 +71,19 @@ func (Cascaded) EncodeAppend(dst, src []byte) []byte {
 	out = putUvarint(out, uint64(len(values)))
 	out = append(out, byte(vWidth), byte(rWidth))
 	var w bitstream.Writer
-	// Worst case is 8 value bits + 31 run bits per pair (< 5 bytes).
-	w.ResetBuf(pool.Bytes(len(values)*5 + 8))
+	// Worst case is 8 value bits + 31 run bits per pair (< 5 bytes). Even
+	// so, Put the handle given to ResetBuf rather than w.Buf(): the writer
+	// grows by append and its final buffer need not be the arena's.
+	wBuf := pool.Bytes(len(values)*5 + 8)
+	w.ResetBuf(wBuf)
 	for i, v := range values {
 		w.WriteBits(uint64(v), vWidth)
 		w.WriteBits(uint64(runs[i]), rWidth)
 	}
 	out = append(out, w.Bytes()...)
-	pool.PutBytes(w.Buf())
-	pool.PutBytes(values)
-	pool.PutU32(runs)
+	pool.PutBytes(wBuf)
+	pool.PutBytes(valuesBuf)
+	pool.PutU32(runsBuf)
 	return out
 }
 

@@ -1,0 +1,448 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+
+	"compso/internal/cluster"
+	"compso/internal/collective"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/gpusim"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/obs"
+	"compso/internal/opt"
+	"compso/internal/train"
+	"compso/internal/xrand"
+)
+
+// The overlap judge: for every modelzoo profile, price one K-FAC+COMPSO
+// training step on the tuned collective engine and the A100 device model
+// twice — once under the sequential schedule (every collective blocks at
+// its call site) and once under the overlap scheduler's pipeline
+// (internal/train/overlap.go): fused gradient buckets and the covariance
+// all-reduce launched before the owned-layer eigendecompositions, and the
+// per-group preconditioned exchange software-pipelined so round r's
+// all-gather rides under round r+1's precondition+compress compute. The
+// COMPSO blob sizes are measured, not assumed — each layer's synthetic
+// gradient is compressed for real and the blob scaled to the full layer.
+// The optional validation leg reruns the proxy K-FAC trainer with overlap
+// off and on and asserts the two answers are bit-identical while the
+// overlap gauge moves, which is what CI's overlap-smoke job checks.
+
+// overlapWorkers is the simulated GPU count the judge prices
+// collectives for.
+const overlapWorkers = 8
+
+// overlapFusionBytes is the judged bucket cap — the trainer's default.
+const overlapFusionBytes = 25 << 20
+
+// overlapAggregationM is the judged layers-per-exchange-round grouping.
+const overlapAggregationM = 2
+
+// OverlapRow is one profile's judged comparison.
+type OverlapRow struct {
+	Model  string `json:"model"`
+	Layers int    `json:"layers"`
+	// Buckets is how many fused gradient buckets the 25 MB cap yields.
+	Buckets int `json:"buckets"`
+	// SeqStepSec and OverlapStepSec are engine-predicted seconds for one
+	// K-FAC step under the sequential and the pipelined schedule.
+	SeqStepSec     float64 `json:"seq_step_s"`
+	OverlapStepSec float64 `json:"overlap_step_s"`
+	// Speedup is SeqStepSec / OverlapStepSec.
+	Speedup float64 `json:"speedup"`
+	// HiddenFrac is the modeled fraction of collective latency hidden
+	// behind compute (the overlap/hidden_comm_fraction gauge's analytic
+	// twin).
+	HiddenFrac float64 `json:"hidden_frac"`
+	// Win: the pipelined schedule strictly beats the sequential one.
+	Win bool `json:"win"`
+}
+
+// OverlapValidation is the proxy-trainer leg: the same K-FAC+COMPSO run
+// with the scheduler off and on must produce bit-identical results while
+// the overlap gauge rises from exactly zero.
+type OverlapValidation struct {
+	Iters        int     `json:"iters"`
+	FinalLossOff float64 `json:"final_loss_off"`
+	FinalLossOn  float64 `json:"final_loss_on"`
+	BitIdentical bool    `json:"bit_identical"`
+	// GaugeOff and GaugeOn are the overlap/hidden_comm_fraction gauge
+	// values of the two runs.
+	GaugeOff float64 `json:"gauge_off"`
+	GaugeOn  float64 `json:"gauge_on"`
+}
+
+// OverlapReport is the full judge output.
+type OverlapReport struct {
+	Workers     int                `json:"workers"`
+	FusionBytes int                `json:"fusion_bytes"`
+	Rows        []OverlapRow       `json:"rows"`
+	Validation  *OverlapValidation `json:"validation,omitempty"`
+}
+
+// OverlapJudge runs the judge. quick shrinks the per-layer gradient
+// samples and the validation budget for CI smoke runs; withValidation
+// adds the proxy-trainer bit-identity leg.
+func OverlapJudge(quick, withValidation bool) (*OverlapReport, *Table, error) {
+	maxElems := 1 << 18
+	iters := 10
+	if quick {
+		maxElems = 1 << 15
+		iters = 6
+	}
+	eng := cluster.EngineFor(cluster.Platform1(), overlapWorkers)
+	dev := gpusim.A100()
+	cm := modelzoo.A100Compute()
+	rng := xrand.NewSeeded(8)
+	comp := compress.NewCOMPSO(8)
+
+	rep := &OverlapReport{Workers: overlapWorkers, FusionBytes: overlapFusionBytes}
+	for _, prof := range modelzoo.All() {
+		row, err := judgeProfile(prof, eng, dev, cm, rng, comp, maxElems)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	if withValidation {
+		v, err := overlapValidation(iters)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Validation = v
+	}
+	return rep, overlapTable(rep), nil
+}
+
+// judgeProfile prices one profile's K-FAC step under both schedules with
+// a two-cursor pipeline model: a compute cursor (the rank's clock) and a
+// wire cursor (the fabric, collectives serialized in launch order). A
+// collective launched at compute time t starts on the wire at
+// max(t, wireCursor); a wait advances the compute cursor to
+// max(computeCursor, collective end).
+func judgeProfile(prof modelzoo.Profile, eng *collective.Engine, dev gpusim.Device, cm modelzoo.ComputeModel, rng *rand.Rand, comp *compress.COMPSO, maxElems int) (OverlapRow, error) {
+	nL := len(prof.Layers)
+
+	// Measured COMPSO blob bytes per layer, scaled to full layer size.
+	blobBytes := make([]float64, nL)
+	for i := range prof.Layers {
+		params := prof.Layers[i].Params()
+		sample := prof.SyntheticGradient(rng, i, maxElems)
+		blob, err := comp.Compress(sample)
+		if err != nil {
+			return OverlapRow{}, fmt.Errorf("overlap: %s layer %d: %w", prof.Name, i, err)
+		}
+		blobBytes[i] = float64(len(blob)) * float64(params) / float64(len(sample))
+	}
+
+	// Shared compute costs.
+	fwdbwd := cm.FwdBwdTime(prof)
+	cov := cm.CovTime(prof)
+	var decodeAll float64
+	for i := range prof.Layers {
+		decodeAll += float64(overlapWorkers-1) / float64(overlapWorkers) *
+			dev.DecompressTime(gpusim.COMPSOFused(), prof.Layers[i].Params())
+	}
+
+	// Round-robin layer ownership, exactly as the trainer assigns it.
+	owned := make([][]int, overlapWorkers)
+	for i := 0; i < nL; i++ {
+		r := i % overlapWorkers
+		owned[r] = append(owned[r], i)
+	}
+	// Per-rank owned compute: eigendecompositions, then per-round
+	// precondition+compress. The step is paced by the busiest rank.
+	var maxEig, maxPrecond float64
+	maxRounds := 0
+	for r := range owned {
+		var eig, pre float64
+		for _, li := range owned[r] {
+			eig += cm.EigTime(prof, li)
+			pre += cm.PrecondTime(prof, li) +
+				dev.Time(gpusim.COMPSOFused(), prof.Layers[li].Params())
+		}
+		if eig > maxEig {
+			maxEig = eig
+		}
+		if pre > maxPrecond {
+			maxPrecond = pre
+		}
+		if g := len(compso.Groups(len(owned[r]), overlapAggregationM)); g > maxRounds {
+			maxRounds = g
+		}
+	}
+	// Per-round costs for the pipelined exchange: the busiest rank's
+	// groups pace both the compute and the all-gather payload.
+	roundCompute := make([]float64, maxRounds)
+	roundBytes := make([]float64, maxRounds)
+	for r := range owned {
+		groups := compso.Groups(len(owned[r]), overlapAggregationM)
+		for gi, g := range groups {
+			var c, b float64
+			for _, idx := range g {
+				li := owned[r][idx]
+				c += cm.PrecondTime(prof, li) +
+					dev.Time(gpusim.COMPSOFused(), prof.Layers[li].Params())
+				b += blobBytes[li]
+			}
+			if c > roundCompute[gi] {
+				roundCompute[gi] = c
+			}
+			if b > roundBytes[gi] {
+				roundBytes[gi] = b
+			}
+		}
+	}
+	var frameBytes float64 // one rank's full sequential all-gather payload
+	for _, b := range roundBytes {
+		frameBytes += b
+	}
+
+	// Fused gradient buckets over the raw FP32 gradients (the K-FAC grad
+	// all-reduce is uncompressed in both schedules).
+	sizes := make([]float64, nL)
+	var gradBytes float64
+	for i := range prof.Layers {
+		sizes[i] = 4 * float64(prof.Layers[i].Params())
+		gradBytes += sizes[i]
+	}
+	buckets := fuseBytes(sizes, overlapFusionBytes)
+
+	covBytes := 4 * prof.CovarianceFloats()
+	_, covAR := eng.PredictAllReduce(covBytes)
+	_, gradAR := eng.PredictAllReduce(int(gradBytes))
+	_, seqAG := eng.PredictAllGather(int(frameBytes))
+
+	// Sequential schedule: every stage serializes.
+	seq := fwdbwd + cov + covAR + gradAR + maxEig + maxPrecond + seqAG + decodeAll
+
+	// Pipelined schedule.
+	compCursor := fwdbwd + cov
+	wire := compCursor
+	var commTotal float64
+	// Covariance all-reduce, then the gradient buckets, queue on the wire.
+	_, s := eng.PredictAllReduce(covBytes)
+	wire += s
+	commTotal += s
+	covEnd := wire
+	for _, b := range buckets {
+		_, s := eng.PredictAllReduce(int(b))
+		wire += s
+		commTotal += s
+	}
+	bucketsEnd := wire
+	// Eigendecompositions hide the collectives in flight.
+	compCursor += maxEig
+	// factor-sync, then grad-install.
+	compCursor = math.Max(compCursor, covEnd)
+	compCursor = math.Max(compCursor, bucketsEnd)
+	// Pipelined precondition exchange: round r's all-gather launches as
+	// soon as its compute is done and rides under round r+1's compute.
+	for r := 0; r < maxRounds; r++ {
+		compCursor += roundCompute[r]
+		start := math.Max(compCursor, wire)
+		_, s := eng.PredictAllGather(int(roundBytes[r]))
+		wire = start + s
+		commTotal += s
+	}
+	compCursor = math.Max(compCursor, wire)
+	compCursor += decodeAll
+	overlap := compCursor
+
+	computeTotal := fwdbwd + cov + maxEig + maxPrecond + decodeAll
+	exposed := overlap - computeTotal
+	hidden := 0.0
+	if commTotal > 0 {
+		hidden = 1 - exposed/commTotal
+		hidden = math.Min(1, math.Max(0, hidden))
+	}
+
+	row := OverlapRow{
+		Model:          prof.Name,
+		Layers:         nL,
+		Buckets:        len(buckets),
+		SeqStepSec:     seq,
+		OverlapStepSec: overlap,
+		Speedup:        seq / overlap,
+		HiddenFrac:     hidden,
+	}
+	row.Win = row.OverlapStepSec < row.SeqStepSec
+	return row, nil
+}
+
+// fuseBytes is the judge's mirror of the trainer's greedy bucketer:
+// consecutive sizes fused until the cap, oversize entries alone.
+func fuseBytes(sizes []float64, limit float64) []float64 {
+	var out []float64
+	cur := 0.0
+	for _, s := range sizes {
+		if cur > 0 && cur+s > limit {
+			out = append(out, cur)
+			cur = 0
+		}
+		cur += s
+	}
+	if cur > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// overlapValidation trains the K-FAC+COMPSO proxy twice — scheduler off,
+// then on — and checks the bit-identity contract plus the gauge movement
+// the simulated trainer should show.
+func overlapValidation(iters int) (*OverlapValidation, error) {
+	run := func(on bool) (*train.Result, float64, error) {
+		builder := func(rng *rand.Rand) *modelzoo.ProxyTask { return modelzoo.ProxyResNet(rng, 5) }
+		probe := builder(xrand.NewSeeded(0))
+		rec := obs.NewRecorder()
+		cfg := train.Config{
+			BuildTask: builder,
+			Workers:   4,
+			Platform:  cluster.Platform1(),
+			Iters:     iters,
+			Seed:      88,
+			Schedule:  &opt.StepLR{BaseLR: probe.BaseLR, Drops: []int{iters / 2}, Gamma: 0.1},
+			StatFreq:  1,
+			UseKFAC:   true,
+			KFAC:      kfac.DefaultConfig(),
+			NewCompressor: func(rank int) compress.Compressor {
+				return compso.NewCompressor(nil, rank, 88)
+			},
+			AggregationM: overlapAggregationM,
+			Obs:          rec,
+			Overlap:      on,
+		}
+		res, err := train.Run(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, res.Metrics.Gauges["overlap/hidden_comm_fraction"], nil
+	}
+	off, gOff, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("overlap: validation off: %w", err)
+	}
+	on, gOn, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("overlap: validation on: %w", err)
+	}
+	identical := off.FinalLoss == on.FinalLoss && off.FinalAcc == on.FinalAcc &&
+		len(off.Losses) == len(on.Losses)
+	for i := range off.Losses {
+		if !identical || off.Losses[i] != on.Losses[i] {
+			identical = false
+			break
+		}
+	}
+	return &OverlapValidation{
+		Iters:        iters,
+		FinalLossOff: off.FinalLoss,
+		FinalLossOn:  on.FinalLoss,
+		BitIdentical: identical,
+		GaugeOff:     gOff,
+		GaugeOn:      gOn,
+	}, nil
+}
+
+// runOverlapPerf appends the overlap judge's engine-predicted step times
+// to the bench-perf report as an "overlap" row group — two rows per
+// modelzoo profile (sequential and pipelined schedule), NsPerOp carrying
+// the predicted step nanoseconds so CI can diff schedules across PRs
+// with the same tooling it uses for wall-clock rows.
+func runOverlapPerf(quick bool, rep *PerfReport) error {
+	maxElems := 1 << 18
+	if quick {
+		maxElems = 1 << 15
+	}
+	eng := cluster.EngineFor(cluster.Platform1(), overlapWorkers)
+	dev := gpusim.A100()
+	cm := modelzoo.A100Compute()
+	rng := xrand.NewSeeded(8)
+	comp := compress.NewCOMPSO(8)
+	for _, prof := range modelzoo.All() {
+		row, err := judgeProfile(prof, eng, dev, cm, rng, comp, maxElems)
+		if err != nil {
+			return err
+		}
+		slug := strings.ToLower(strings.ReplaceAll(prof.Name, " ", "-"))
+		rep.Rows = append(rep.Rows,
+			PerfRow{Name: "overlap/" + slug + "/sequential", Group: "overlap", NsPerOp: row.SeqStepSec * 1e9},
+			PerfRow{Name: "overlap/" + slug + "/pipelined", Group: "overlap", NsPerOp: row.OverlapStepSec * 1e9},
+		)
+	}
+	return nil
+}
+
+// overlapTable renders the judge report.
+func overlapTable(rep *OverlapReport) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Overlap scheduler judge (%d GPUs, %d MB buckets): pipelined vs sequential K-FAC step",
+			rep.Workers, rep.FusionBytes>>20),
+		Headers: []string{"Model", "Layers", "Buckets", "Seq s/step", "Overlap s/step", "Speedup", "Hidden", "Win"},
+	}
+	for _, r := range rep.Rows {
+		win := ""
+		if r.Win {
+			win = "*"
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Model, fmt.Sprint(r.Layers), fmt.Sprint(r.Buckets),
+			fmtF(r.SeqStepSec*1e3, 3) + " ms", fmtF(r.OverlapStepSec*1e3, 3) + " ms",
+			fmtF(r.Speedup, 2) + "x", fmtF(100*r.HiddenFrac, 1) + "%",
+			win,
+		})
+	}
+	return t
+}
+
+// Validate enforces the judge's acceptance bar: the pipelined schedule
+// must beat the sequential one on at least three of the four modelzoo
+// profiles with finite metrics, and when the validation leg ran, the two
+// trainer answers must be bit-identical with the gauge at exactly zero
+// sequentially and strictly positive overlapped.
+func (rep *OverlapReport) Validate() error {
+	wins := 0
+	for _, r := range rep.Rows {
+		for _, v := range []float64{r.SeqStepSec, r.OverlapStepSec, r.Speedup} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return fmt.Errorf("overlap: %s has a non-finite or non-positive metric", r.Model)
+			}
+		}
+		if math.IsNaN(r.HiddenFrac) || r.HiddenFrac < 0 || r.HiddenFrac > 1 {
+			return fmt.Errorf("overlap: %s hidden fraction %g out of [0,1]", r.Model, r.HiddenFrac)
+		}
+		if r.Win {
+			wins++
+		}
+	}
+	if wins < 3 {
+		return fmt.Errorf("overlap: pipelined schedule wins on %d profiles, need >= 3", wins)
+	}
+	v := rep.Validation
+	if v == nil {
+		return nil
+	}
+	if !v.BitIdentical {
+		return fmt.Errorf("overlap: validation runs differ (off %.6f vs on %.6f)",
+			v.FinalLossOff, v.FinalLossOn)
+	}
+	for _, l := range []float64{v.FinalLossOff, v.FinalLossOn} {
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("overlap: non-finite validation loss")
+		}
+	}
+	if v.GaugeOff != 0 {
+		return fmt.Errorf("overlap: sequential gauge %g, want exactly 0", v.GaugeOff)
+	}
+	if v.GaugeOn <= 0 || v.GaugeOn > 1 {
+		return fmt.Errorf("overlap: overlapped gauge %g, want in (0, 1]", v.GaugeOn)
+	}
+	return nil
+}

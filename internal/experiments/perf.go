@@ -281,6 +281,12 @@ func RunPerf(quick bool) (*PerfReport, error) {
 		return nil, err
 	}
 
+	// Overlap group: engine-predicted K-FAC step time per modelzoo profile
+	// under the sequential and the pipelined schedule (overlap.go).
+	if err := runOverlapPerf(quick, rep); err != nil {
+		return nil, err
+	}
+
 	for _, pair := range [][2]string{
 		{"compso/compress", "compso"},
 		{"compso/decompress", "compso"},

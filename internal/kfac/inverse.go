@@ -1,11 +1,23 @@
 package kfac
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"compso/internal/tensor"
 )
+
+// ErrNonFiniteFactor reports that a committed Kronecker factor carries
+// non-finite statistics (NaN/Inf traces). It surfaces instead of letting a
+// poisoned factor silently corrupt the cached inverses: rate-1 payload
+// corruption can feed non-finite gradients into the factor updates, a NaN
+// trace passes a plain `> 0` guard (NaN compares false, leaving pi = 1),
+// and the damped solve then bakes NaN into invA/invG for every later step.
+var ErrNonFiniteFactor = errors.New("kfac: non-finite factor statistics")
+
+// isFinite reports whether x is neither NaN nor ±Inf.
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
 
 // Inversion selects how the Fisher-factor inverse is applied (§2.2: KAISA
 // "employs an alternate implicit inversion method for FIM to further
@@ -50,6 +62,10 @@ func (k *KFAC) refreshCholesky(i int) error {
 	// proportion to their average eigenvalue (trace/dim), as KAISA does.
 	traceA := a.Trace() / float64(a.Rows)
 	traceG := g.Trace() / float64(g.Rows)
+	if !isFinite(traceA) || !isFinite(traceG) {
+		return fmt.Errorf("%w: layer %s average eigenvalues A=%g G=%g",
+			ErrNonFiniteFactor, l.name, traceA, traceG)
+	}
 	pi := 1.0
 	if traceA > 0 && traceG > 0 {
 		pi = math.Sqrt(traceA / traceG)

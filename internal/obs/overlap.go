@@ -1,0 +1,61 @@
+package obs
+
+import "sort"
+
+// Overlap-efficiency accounting for the trainer's phase spans: for each
+// named phase ("grad-launch", "eigendecomp", …) the wall span of the
+// phase, the busy time spent inside child spans (collectives, compress
+// kernels, preconditioning GEMMs), and the idle remainder. The overlap
+// scheduler's job is to shrink the idle gap — compute that previously sat
+// under a blocking collective moves into the same wall span — so the
+// per-phase idle fraction is the trace-level counterpart of the cluster's
+// hidden-comm gauge.
+
+// PhaseEfficiency is one phase name's busy/idle decomposition, summed
+// over every instance of the phase across ranks and steps.
+type PhaseEfficiency struct {
+	Phase       string
+	SpanSeconds float64 // total wall time of the phase spans
+	BusySeconds float64 // time covered by direct child spans
+	IdleSeconds float64 // max(0, SpanSeconds - BusySeconds)
+}
+
+// PhaseEfficiencies decomposes every CatPhase span into busy time (the
+// summed durations of its direct children) and idle time, grouped by
+// phase name and sorted by name. Child spans of one phase instance never
+// overlap each other — each rank's simulated clock advances through them
+// sequentially — so the direct-child sum is an exact busy measure.
+func (s Snapshot) PhaseEfficiencies() []PhaseEfficiency {
+	phaseName := make(map[SpanID]string)
+	acc := make(map[string]*PhaseEfficiency)
+	for _, sp := range s.Spans {
+		if sp.Cat != CatPhase {
+			continue
+		}
+		phaseName[sp.ID] = sp.Name
+		pe := acc[sp.Name]
+		if pe == nil {
+			pe = &PhaseEfficiency{Phase: sp.Name}
+			acc[sp.Name] = pe
+		}
+		pe.SpanSeconds += sp.Duration()
+	}
+	for _, sp := range s.Spans {
+		if sp.Cat == CatPhase {
+			continue
+		}
+		if name, ok := phaseName[sp.Parent]; ok {
+			acc[name].BusySeconds += sp.Duration()
+		}
+	}
+	out := make([]PhaseEfficiency, 0, len(acc))
+	for _, pe := range acc {
+		pe.IdleSeconds = pe.SpanSeconds - pe.BusySeconds
+		if pe.IdleSeconds < 0 {
+			pe.IdleSeconds = 0
+		}
+		out = append(out, *pe)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Phase < out[j].Phase })
+	return out
+}

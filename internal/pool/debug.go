@@ -22,11 +22,16 @@ import (
 //
 // Enable with SetDebug(true) (tests) or the COMPSO_POOL_DEBUG environment
 // variable (any value but "" or "0"). Disabled, the only cost on the hot
-// path is one atomic load per get/put. Tracking is address-keyed, so a
-// pooled buffer dropped by the GC leaves a stale entry behind; fresh
-// allocations overwrite stale entries, which keeps false positives to the
-// pathological case of a foreign make()'d slice landing on a recycled
-// address — acceptable for a debugging aid that is off in production.
+// path is one atomic load per get/put. Tracking is address-keyed, so each
+// arena-born buffer arms a finalizer that deletes its entry when the GC
+// reclaims the backing allocation (sync.Pool may drop pooled buffers at any
+// GC) — without it, a plain make() landing on the recycled address would
+// inherit the stale entry and trip AssertNotArena with a false positive.
+// SetFinalizer keeps the memory unreusable until the finalizer has run, so
+// the deletion always precedes any reuse. The only remaining stale-entry
+// window is a foreign (non-arena) class-sized slice first seen at Put,
+// whose allocation base is unknown — rare enough for a debugging aid that
+// is off in production.
 
 // debugEnabled gates all tracking; checked with a single atomic load on the
 // arena hot paths.
@@ -127,6 +132,68 @@ func callerSite() string {
 	return site
 }
 
+// AssertNotArena panics when debug mode is on and b's backing array is a
+// tracked arena buffer. It is the collective-boundary check: Broadcast and
+// AllGather payloads are retained by other workers' goroutines long after
+// the sender's call returns, so an arena buffer crossing that boundary is
+// a future use-after-Put no matter how careful the sender is. With debug
+// mode off the check is a single atomic load.
+func AssertNotArena(b []byte, boundary string) {
+	if !debugEnabled.Load() {
+		return
+	}
+	k := dataKey(b)
+	if k == 0 {
+		return
+	}
+	debugTracker.mu.Lock()
+	e, ok := debugTracker.entries[k]
+	var pooled bool
+	var site string
+	if ok {
+		pooled, site = e.pooled, e.putSite
+	}
+	debugTracker.mu.Unlock()
+	if !ok {
+		return
+	}
+	if pooled {
+		panic(fmt.Sprintf(
+			"pool: buffer %#x (cap %d) entering %s was already pooled at [%s] (use-after-Put)",
+			k, cap(b), boundary, site))
+	}
+	panic(fmt.Sprintf(
+		"pool: live arena buffer %#x (cap %d) escaping into %s; collective payloads are retained by other goroutines and must be fresh allocations",
+		k, cap(b), boundary))
+}
+
+// debugArm attaches the stale-entry reaper to an arena-born buffer: when
+// the GC reclaims the backing allocation (abandoned live buffer, or a
+// pooled one the sync.Pool dropped), the finalizer removes its tracker
+// entry before the address can be reused. s must span its allocation from
+// the base (true for every buffer the arenas make), or SetFinalizer
+// panics.
+func debugArm[T any](s []T) {
+	k := dataKey(s)
+	base := unsafe.SliceData(s[:cap(s)])
+	// A buffer re-adopted after a SetDebug reset is already armed; clear
+	// the old finalizer first (setting over an existing one is a runtime
+	// fatal error).
+	runtime.SetFinalizer(base, nil)
+	runtime.SetFinalizer(base, func(*T) {
+		debugTracker.mu.Lock()
+		if e, ok := debugTracker.entries[k]; ok {
+			if e.pooled {
+				debugTracker.pooled--
+			} else {
+				debugTracker.live--
+			}
+			delete(debugTracker.entries, k)
+		}
+		debugTracker.mu.Unlock()
+	})
+}
+
 // debugGetFresh records a newly allocated class-sized buffer as live. A
 // stale entry at the same address belonged to a GC-reclaimed buffer and is
 // overwritten.
@@ -135,6 +202,7 @@ func debugGetFresh[T any](s []T) {
 	if k == 0 {
 		return
 	}
+	debugArm(s)
 	debugTracker.mu.Lock()
 	defer debugTracker.mu.Unlock()
 	if old, ok := debugTracker.entries[k]; ok {
@@ -161,9 +229,14 @@ func debugGetPooled[T any](s []T) {
 	defer debugTracker.mu.Unlock()
 	e, ok := debugTracker.entries[k]
 	if !ok {
-		// Pooled before debug mode was enabled: adopt it untracked.
+		// Pooled before debug mode was enabled (or re-adopted after a
+		// SetDebug reset): it came from an arena make, so arm the reaper
+		// and adopt it as live.
 		debugTracker.entries[k] = &debugEntry{}
 		debugTracker.live++
+		debugTracker.mu.Unlock()
+		debugArm(s)
+		debugTracker.mu.Lock()
 		return
 	}
 	if e.pooled {

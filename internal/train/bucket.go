@@ -1,0 +1,53 @@
+package train
+
+import "compso/internal/nn"
+
+// Tensor-fusion bucketing for the overlap scheduler: consecutive parameter
+// tensors pack into buckets whose FP32 wire size stays at or below the
+// configured fusion threshold (~25 MB by default, ACP-SGD's policy), so
+// the gradient all-reduce becomes a short pipeline of fused collectives
+// instead of one monolithic exchange. Tensors are never split across
+// buckets, and buckets keep the flatten order of the sequential path — so
+// the element-wise rank-order sums inside each bucket are exactly the sums
+// the whole-model all-reduce computes, which is what keeps the overlap
+// path bit-identical (DESIGN.md §8).
+
+// bucket is one fused range: tensors [start, end) of the parameter list,
+// elems float64 gradient values in total.
+type bucket struct {
+	start, end int
+	elems      int
+}
+
+// fuseBuckets greedily packs consecutive tensor sizes into buckets of at
+// most limitBytes on the wire (4 bytes per element, FP32). A tensor larger
+// than the limit gets its own bucket.
+func fuseBuckets(sizes []int, limitBytes int) []bucket {
+	limitElems := limitBytes / 4
+	if limitElems < 1 {
+		limitElems = 1
+	}
+	var out []bucket
+	cur := bucket{}
+	for i, n := range sizes {
+		if cur.end > cur.start && cur.elems+n > limitElems {
+			out = append(out, cur)
+			cur = bucket{start: i}
+		}
+		cur.end = i + 1
+		cur.elems += n
+	}
+	if cur.end > cur.start {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// gradSizes returns each parameter tensor's gradient element count.
+func gradSizes(params []*nn.Param) []int {
+	sizes := make([]int, len(params))
+	for i, p := range params {
+		sizes[i] = len(p.Grad.Data)
+	}
+	return sizes
+}

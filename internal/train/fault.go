@@ -124,10 +124,31 @@ func installPart(fc *faultCtx, w *cluster.Worker, cfg Config, tel *tele, st *kfa
 	comp compress.Compressor, it, sender int, part, ownPayload, ownRaw []byte) error {
 
 	lossless := comp == nil && !st.perLayer
-	if fc == nil {
-		return st.parsePart(w, cfg, tel, comp, sender, part, lossless)
+	parse := func(p []byte, fallback bool) error {
+		if fallback {
+			return st.parsePart(w, cfg, tel, nil, sender, p, true)
+		}
+		return st.parsePart(w, cfg, tel, comp, sender, p, lossless)
 	}
-	err := st.parsePart(w, cfg, tel, comp, sender, fc.deliver(part, it, sender, 0), lossless)
+	return installFramed(fc, w, it, sender, part, ownPayload, ownRaw, parse)
+}
+
+// installFramed runs the corrupt → retry → lossless-fallback ladder over
+// one sender's framed payload: parse decodes and installs it (fallback
+// selects raw-FP32 frame decoding of the sender's lossless mirror). With
+// faults disabled it is a plain parse. ownPayload/ownRaw are this rank's
+// sender-side material for the recovery broadcasts — both must be fresh
+// allocations, never arena buffers, because broadcast payloads are
+// retained by other workers' goroutines. Both the sequential whole-payload
+// install and the overlap scheduler's per-round installs share this
+// ladder.
+func installFramed(fc *faultCtx, w *cluster.Worker, it, sender int,
+	part, ownPayload, ownRaw []byte, parse func(p []byte, fallback bool) error) error {
+
+	if fc == nil {
+		return parse(part, false)
+	}
+	err := parse(fc.deliver(part, it, sender, 0), false)
 	for attempt := 1; err != nil && attempt <= fc.retries; attempt++ {
 		fc.tel.faultRetry(it, sender)
 		var payload []byte
@@ -135,7 +156,7 @@ func installPart(fc *faultCtx, w *cluster.Worker, cfg Config, tel *tele, st *kfa
 			payload = ownPayload
 		}
 		re := w.Broadcast(payload, sender, "kfac-allgather-retry")
-		err = st.parsePart(w, cfg, tel, comp, sender, fc.deliver(re, it, sender, attempt), lossless)
+		err = parse(fc.deliver(re, it, sender, attempt), false)
 	}
 	if err == nil {
 		return nil
@@ -146,7 +167,7 @@ func installPart(fc *faultCtx, w *cluster.Worker, cfg Config, tel *tele, st *kfa
 		payload = ownRaw
 	}
 	raw := w.Broadcast(payload, sender, "kfac-allgather-fallback")
-	if err := st.parsePart(w, cfg, tel, nil, sender, raw, true); err != nil {
+	if err := parse(raw, true); err != nil {
 		return fmt.Errorf("train: lossless fallback from rank %d: %w", sender, err)
 	}
 	return nil

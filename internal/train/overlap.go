@@ -1,0 +1,224 @@
+package train
+
+import (
+	"compso/internal/cluster"
+	"compso/internal/compress"
+	"compso/internal/compso"
+	"compso/internal/kfac"
+	"compso/internal/modelzoo"
+	"compso/internal/opt"
+	"compso/internal/pool"
+)
+
+// The compute/communication overlap scheduler (Config.Overlap): the same
+// collectives as the sequential path, issued through the cluster's
+// non-blocking launch/wait handles so their latency hides behind the
+// compute between launch and wait. Three invariants keep the results
+// bit-identical to the sequential path (DESIGN.md §8):
+//
+//   - Compression units never change. Per-bucket compression of an SGD
+//     gradient would re-frame the stateful COMPSO stream and shift every
+//     per-call max-abs scale, so blob-compressed SGD keeps its sequential
+//     whole-model granularity; the K-FAC exchange already compresses per
+//     aggregation group, which is exactly the unit the overlap rounds
+//     pipeline.
+//   - In-bucket order is the flatten order. Fused all-reduce buckets cut
+//     the whole-model flatten at tensor boundaries, so each element's
+//     rank-order sum is the identical float expression either way.
+//   - Installs are order-independent. Gathered K-FAC frames install via
+//     SetPreconditioned keyed by (sender, layer); decoding round-by-round
+//     instead of whole-payload touches the same state with the same
+//     values.
+//
+// Only the simulated schedule moves: launches cluster at phase starts,
+// waits charge only the exposed remainder, and SerializeWire queues the
+// in-flight collectives on the fabric so the win is honest.
+
+// sgdIterationOverlap is the first-order overlap path. Only the
+// uncompressed gradient exchange has sub-step structure to pipeline — it
+// splits into fused buckets launched back-to-back. The compressed paths
+// delegate to the sequential iteration: the blob all-gather is a single
+// whole-model compress → gather → decode-everything chain with no
+// intermediate unit to overlap (see the compression-unit invariant above),
+// and the low-rank ring path is already one fused factor all-reduce.
+func sgdIterationOverlap(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, sgd *opt.SGD,
+	comp compress.Compressor, it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
+
+	if comp != nil {
+		return sgdIteration(w, task, sgd, comp, it, lr, tel, fc, cr)
+	}
+	phase := tel.beginPhase("grad-sync")
+	buckets, pend, bufs := launchGradBuckets(w, task, cfg.FusionBytes)
+	installGradBuckets(w, task, buckets, pend, bufs)
+	tel.endPhase(phase)
+	sgd.Step(task.Model.Params(), lr)
+	return nil
+}
+
+// launchGradBuckets flattens the model gradient into fused buckets and
+// launches one asynchronous all-reduce per bucket. The pooled staging
+// buffers are read only during each launch rendezvous and receive the
+// bucket's sum at Wait, so they recycle right after the scatter.
+func launchGradBuckets(w *cluster.Worker, task *modelzoo.ProxyTask, fusionBytes int) ([]bucket, []*cluster.PendingReduce, [][]float64) {
+	params := task.Model.Params()
+	buckets := fuseBuckets(gradSizes(params), fusionBytes)
+	pend := make([]*cluster.PendingReduce, len(buckets))
+	bufs := make([][]float64, len(buckets))
+	for b, bk := range buckets {
+		buf := pool.F64(bk.elems)[:0]
+		for _, p := range params[bk.start:bk.end] {
+			buf = append(buf, p.Grad.Data...)
+		}
+		bufs[b] = buf
+		pend[b] = w.AllReduceAsync(buf, "grad-allreduce")
+	}
+	return buckets, pend, bufs
+}
+
+// installGradBuckets waits for each bucket in launch order and scatters
+// the averaged gradients back into the parameter tensors.
+func installGradBuckets(w *cluster.Worker, task *modelzoo.ProxyTask, buckets []bucket, pend []*cluster.PendingReduce, bufs [][]float64) {
+	params := task.Model.Params()
+	inv := 1.0 / float64(w.Size())
+	for b, bk := range buckets {
+		pend[b].Wait()
+		pos := 0
+		for _, p := range params[bk.start:bk.end] {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = bufs[b][pos] * inv
+				pos++
+			}
+		}
+		pool.PutF64(bufs[b])
+	}
+}
+
+// kfacIterationOverlap is the distributed K-FAC overlap path. Schedule,
+// relative to the sequential kfacIteration:
+//
+//  1. Launch the factor all-reduce (stat steps) and then every fused
+//     gradient bucket, back-to-back, before blocking on anything.
+//  2. Wait only for the factors, commit them, and run the owned-layer
+//     eigendecompositions while the (much larger) gradient buckets are
+//     still on the wire.
+//  3. Wait the buckets in launch order and install the averaged gradients.
+//  4. Precondition + compress each aggregation group and launch its
+//     all-gather round as soon as the frame is ready; ranks with fewer
+//     groups than the longest rank contribute empty rounds (the
+//     worldSize > nLayers shape, which parseGroups accepts).
+//  5. Wait each round in launch order and install its frames — round r
+//     decodes while rounds r+1… are still in flight — then apply the
+//     update.
+//
+// The collectives, their program order across ranks, the compressed bytes,
+// and the installed values are identical to the sequential path.
+func kfacIterationOverlap(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *kfac.KFAC,
+	comp compress.Compressor, layerComps map[int]compress.Compressor,
+	it int, lr float64, tel *tele, fc *faultCtx, cr *crAccum) error {
+
+	owned := ownedLayers(k.NumLayers(), w.Size(), w.Rank())
+	statStep := it%cfg.StatFreq == 0
+
+	// Step 1: launch the factor sum first (it is small and unblocks the
+	// eigendecompositions), then the fused gradient buckets.
+	phase := tel.beginPhase("grad-launch")
+	var cov []float64
+	var covPending *cluster.PendingReduce
+	if statStep {
+		k.AccumulateStats(task.Batch)
+		cov = k.PendingCovariances()
+		if !cfg.CompressFactors {
+			covPending = w.AllReduceAsync(cov, "kfac-allreduce")
+		}
+	}
+	buckets, pend, bufs := launchGradBuckets(w, task, cfg.FusionBytes)
+	tel.endPhase(phase)
+
+	// Step 2: factor sync + eigendecomposition, overlapping the buckets.
+	// The compressed factor exchange stays synchronous — it is an
+	// all-gather + sum whose result feeds CommitCovariances immediately.
+	if statStep {
+		phase = tel.beginPhase("factor-sync")
+		if cfg.CompressFactors {
+			if err := compressedFactorExchange(w, cfg, tel, cov); err != nil {
+				return err
+			}
+		} else {
+			covPending.Wait()
+		}
+		if err := k.CommitCovariances(cov, w.Size()); err != nil {
+			return err
+		}
+		tel.endPhase(phase)
+	}
+	if k.NeedsEigen() {
+		phase = tel.beginPhase("eigendecomp")
+		eigErrs := make([]error, len(owned))
+		pool.ParallelFor(len(owned), 0, func(j int) {
+			eigErrs[j] = k.RefreshEigen(owned[j])
+		})
+		for j, li := range owned {
+			if eigErrs[j] != nil {
+				return eigErrs[j]
+			}
+			tel.eigen(k, li)
+		}
+		tel.endPhase(phase)
+	}
+
+	// Step 3: the preconditioner needs the averaged gradients — wait the
+	// buckets out and scatter.
+	phase = tel.beginPhase("grad-install")
+	installGradBuckets(w, task, buckets, pend, bufs)
+	tel.endPhase(phase)
+
+	// Steps 4–5: pipelined preconditioned-gradient exchange, one all-gather
+	// round per aggregation group. Every rank runs the same number of
+	// rounds (rank 0 always owns the most layers under the round-robin
+	// split), sending empty payloads once its own groups run out.
+	phase = tel.beginPhase("precond-exchange")
+	groups := compso.Groups(len(owned), cfg.AggregationM)
+	nRounds := len(compso.Groups(len(ownedLayers(k.NumLayers(), w.Size(), 0)), cfg.AggregationM))
+	type round struct {
+		payload, rawPayload []byte
+		pending             *cluster.PendingGather
+	}
+	rounds := make([]round, nRounds)
+	for r := 0; r < nRounds; r++ {
+		var payload, rawPayload []byte
+		if r < len(groups) {
+			var err error
+			payload, rawPayload, err = buildGroupFrame(k, tel, cr, comp, layerComps, owned, groups[r], fc != nil)
+			if err != nil {
+				return err
+			}
+		}
+		rounds[r] = round{payload: payload, rawPayload: rawPayload,
+			pending: w.AllGatherAsync(payload, "kfac-allgather")}
+	}
+	st := &kfacState{k: k, perLayer: layerComps != nil}
+	lossless := comp == nil && !st.perLayer
+	for r := 0; r < nRounds; r++ {
+		parts := rounds[r].pending.Wait()
+		for sender, part := range parts {
+			sOwned := ownedLayers(k.NumLayers(), w.Size(), sender)
+			sGroups := compso.Groups(len(sOwned), cfg.AggregationM)
+			var rGroups [][]int
+			if r < len(sGroups) {
+				rGroups = sGroups[r : r+1]
+			}
+			sender := sender
+			parse := func(p []byte, fallback bool) error {
+				if fallback {
+					return st.parseGroups(tel, nil, sender, p, true, sOwned, rGroups)
+				}
+				return st.parseGroups(tel, comp, sender, p, lossless, sOwned, rGroups)
+			}
+			if err := installFramed(fc, w, it, sender, part, rounds[r].payload, rounds[r].rawPayload, parse); err != nil {
+				return err
+			}
+		}
+	}
+	tel.endPhase(phase)
+	return k.ApplyUpdate(lr)
+}

@@ -68,7 +68,22 @@ func (t *tele) endStep(it int) {
 	t.step = 0
 	if t.w.Rank() == 0 {
 		t.rec.Counter("train/steps").Inc()
+		t.overlapGauge()
 	}
+}
+
+// overlapGauge publishes the overlap scheduler's headline efficiency
+// number: the fraction of this worker's collective time hidden behind
+// compute so far. exposed is the comm time actually charged to the clock
+// (waits that outran the compute), total each collective's full
+// launch-to-end latency; sequential runs sit at exactly 0, and the gauge
+// rises as the scheduler pipelines launches ahead of their waits.
+func (t *tele) overlapGauge() {
+	exposed, total := t.w.OverlapStats()
+	if total <= 0 {
+		return
+	}
+	t.rec.Gauge("overlap/hidden_comm_fraction").Set(1 - exposed/total)
 }
 
 // beginPhase opens a named phase span under the current step and makes it

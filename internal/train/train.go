@@ -84,6 +84,18 @@ type Config struct {
 	EvalEvery int
 	// EvalSize is the validation batch size (default 512).
 	EvalSize int
+	// Overlap enables the compute/communication overlap scheduler
+	// (overlap.go): gradient all-reduces launch as fused buckets of at
+	// most FusionBytes and complete asynchronously, and the K-FAC path
+	// overlaps the owned-layer eigendecompositions with the gradient
+	// collectives and pipelines the per-group preconditioned-gradient
+	// exchange. Numerics are bit-identical to the sequential path (see
+	// DESIGN.md §8) — only the simulated schedule changes. Off by default.
+	Overlap bool
+	// FusionBytes caps each fused gradient bucket's FP32 wire size in
+	// bytes (default 25 MiB, ACP-SGD's tensor-fusion threshold). Only
+	// meaningful with Overlap.
+	FusionBytes int
 	// Obs receives simulated-time spans and metrics for this run (see
 	// package obs). Nil disables instrumentation at zero cost; enabling it
 	// never changes simulated results, only observes them.
@@ -141,6 +153,9 @@ func (c *Config) withDefaults() Config {
 	if cfg.FactorEB <= 0 {
 		cfg.FactorEB = 1e-3
 	}
+	if cfg.FusionBytes <= 0 {
+		cfg.FusionBytes = 25 << 20
+	}
 	return cfg
 }
 
@@ -169,6 +184,9 @@ func Run(c Config) (*Result, error) {
 	cl := cluster.New(cfg.Platform, cfg.Workers)
 	cl.Observe(cfg.Obs)
 	cl.InjectFaults(inj)
+	if cfg.Overlap {
+		cl.SerializeWire(true)
+	}
 	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
 	var mu sync.Mutex
 	var firstErr error
@@ -264,11 +282,20 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 		task.Model.Backward(grad)
 
 		lr := cfg.Schedule.LR(it)
-		if cfg.UseKFAC {
+		switch {
+		case cfg.UseKFAC && cfg.Overlap:
+			if err := kfacIterationOverlap(w, cfg, task, optimizer, comp, layerComps, it, lr, tel, fc, cr); err != nil {
+				return err
+			}
+		case cfg.UseKFAC:
 			if err := kfacIteration(w, cfg, task, optimizer, comp, layerComps, it, lr, tel, fc, cr); err != nil {
 				return err
 			}
-		} else {
+		case cfg.Overlap:
+			if err := sgdIterationOverlap(w, cfg, task, sgd, comp, it, lr, tel, fc, cr); err != nil {
+				return err
+			}
+		default:
 			if err := sgdIteration(w, task, sgd, comp, it, lr, tel, fc, cr); err != nil {
 				return err
 			}
@@ -510,45 +537,12 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 		rawPayload = make([]byte, 0, 1024)
 	}
 	for _, g := range groups {
-		grads := make([][]float32, 0, len(g))
-		for _, oi := range g {
-			vals, err := k.Precondition(owned[oi])
-			if err != nil {
-				return err
-			}
-			tel.precondition(k, owned[oi])
-			grads = append(grads, vals)
+		frame, rawFrame, err := buildGroupFrame(k, tel, cr, comp, layerComps, owned, g, fc != nil)
+		if err != nil {
+			return err
 		}
-		flat := compso.Concat(grads)
-		gcomp := comp
-		if layerComps != nil {
-			// AggregationM == 1: each group is exactly one owned layer.
-			gcomp = layerComps[owned[g[0]]]
-		}
-		if gcomp != nil {
-			blob, err := gcomp.Compress(flat)
-			if err != nil {
-				return err
-			}
-			tel.compressWith(compressorPipe(gcomp), len(flat), len(blob), "kfac-allgather")
-			tel.filterStats(gcomp)
-			recordCR(len(flat), len(blob), cr)
-			payload = binary.AppendUvarint(payload, uint64(len(blob)))
-			payload = append(payload, blob...)
-		} else {
-			// The FP32 frame is copied into payload immediately, so its
-			// staging buffer comes from the arena.
-			raw := f32ToBytesPooled(flat)
-			payload = binary.AppendUvarint(payload, uint64(len(raw)))
-			payload = append(payload, raw...)
-			pool.PutBytes(raw)
-		}
-		if fc != nil {
-			raw := f32ToBytesPooled(flat)
-			rawPayload = binary.AppendUvarint(rawPayload, uint64(len(raw)))
-			rawPayload = append(rawPayload, raw...)
-			pool.PutBytes(raw)
-		}
+		payload = append(payload, frame...)
+		rawPayload = append(rawPayload, rawFrame...)
 	}
 	parts := w.AllGather(payload, "kfac-allgather")
 
@@ -574,6 +568,59 @@ func kfacIteration(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask, k *k
 	return k.ApplyUpdate(lr)
 }
 
+// buildGroupFrame preconditioned-and-compresses one aggregation group of
+// owned layers and returns its uvarint-framed payload bytes, plus the
+// lossless FP32 mirror frame when withRaw is set (the sender-side material
+// for the fault path's last-resort re-broadcast). It is the per-group unit
+// both the sequential exchange (frames concatenated into one payload) and
+// the overlap scheduler (one all-gather round per frame) are built from —
+// the operations, their order, and the bytes are identical either way.
+func buildGroupFrame(k *kfac.KFAC, tel *tele, cr *crAccum,
+	comp compress.Compressor, layerComps map[int]compress.Compressor,
+	owned []int, g []int, withRaw bool) (frame, rawFrame []byte, err error) {
+
+	grads := make([][]float32, 0, len(g))
+	for _, oi := range g {
+		vals, err := k.Precondition(owned[oi])
+		if err != nil {
+			return nil, nil, err
+		}
+		tel.precondition(k, owned[oi])
+		grads = append(grads, vals)
+	}
+	flat := compso.Concat(grads)
+	gcomp := comp
+	if layerComps != nil {
+		// AggregationM == 1: each group is exactly one owned layer.
+		gcomp = layerComps[owned[g[0]]]
+	}
+	if gcomp != nil {
+		blob, err := gcomp.Compress(flat)
+		if err != nil {
+			return nil, nil, err
+		}
+		tel.compressWith(compressorPipe(gcomp), len(flat), len(blob), "kfac-allgather")
+		tel.filterStats(gcomp)
+		recordCR(len(flat), len(blob), cr)
+		frame = binary.AppendUvarint(frame, uint64(len(blob)))
+		frame = append(frame, blob...)
+	} else {
+		// The FP32 frame is copied into the payload immediately, so its
+		// staging buffer comes from the arena.
+		raw := f32ToBytesPooled(flat)
+		frame = binary.AppendUvarint(frame, uint64(len(raw)))
+		frame = append(frame, raw...)
+		pool.PutBytes(raw)
+	}
+	if withRaw {
+		raw := f32ToBytesPooled(flat)
+		rawFrame = binary.AppendUvarint(rawFrame, uint64(len(raw)))
+		rawFrame = append(rawFrame, raw...)
+		pool.PutBytes(raw)
+	}
+	return frame, rawFrame, nil
+}
+
 // kfacState wraps the optimizer for frame-by-frame installation of gathered
 // preconditioned gradients. perLayer marks a mixed-family per-layer
 // compressor plan: frames then decode through compress.Decode (magic-byte
@@ -590,9 +637,21 @@ type kfacState struct {
 // payload damage from programming errors.
 func (st *kfacState) parsePart(w *cluster.Worker, cfg Config, tel *tele,
 	comp compress.Compressor, sender int, part []byte, lossless bool) error {
-	k := st.k
-	rOwned := ownedLayers(k.NumLayers(), w.Size(), sender)
+	rOwned := ownedLayers(st.k.NumLayers(), w.Size(), sender)
 	rGroups := compso.Groups(len(rOwned), cfg.AggregationM)
+	return st.parseGroups(tel, comp, sender, part, lossless, rOwned, rGroups)
+}
+
+// parseGroups is parsePart over an explicit group subset: part must carry
+// exactly one frame per entry of rGroups (group indices into rOwned, the
+// sender's owned-layer list). An empty rGroups accepts only an empty part
+// — the shape a rank with no owned layers (worldSize > nLayers) or a
+// shorter exchange-round schedule legitimately sends — without flagging
+// ErrCorrupt. The sequential path passes the sender's full group list; the
+// overlap scheduler passes one group per exchange round.
+func (st *kfacState) parseGroups(tel *tele, comp compress.Compressor,
+	sender int, part []byte, lossless bool, rOwned []int, rGroups [][]int) error {
+	k := st.k
 	pos := 0
 	for _, g := range rGroups {
 		blobLen, used := binary.Uvarint(part[pos:])
