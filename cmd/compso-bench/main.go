@@ -31,6 +31,17 @@
 //	compso-bench chaos -trace t.json    # also write the combined trace
 //	compso-bench chaos -json rows.json  # machine-readable rows
 //
+// Crash recovery: "compso-bench crash" runs the checkpoint-interval judge —
+// an analytic save-overhead vs expected-lost-work sweep over the four
+// evaluation profiles (marking both the grid optimum and Young's τ*), plus
+// a measured proxy leg that really loses a worker mid-step, restores from
+// the last checkpoint, and verifies the recovered run is bit-identical to
+// its uninterrupted twin:
+//
+//	compso-bench crash                  # sweep + measured leg
+//	compso-bench crash -quick           # CI-sized measured budget
+//	compso-bench crash -json rows.json  # machine-readable rows
+//
 // Performance: "compso-bench perf" runs the fused-vs-reference benchmark
 // harness — wall-clock and allocation measurements of the single-pass
 // compression kernels against the preserved multi-pass reference pipelines,
@@ -77,6 +88,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		chaosMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "crash" {
+		crashMain(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "perf" {
@@ -307,6 +322,49 @@ func chaosMain(args []string) {
 		blob = append(blob, '\n')
 		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// crashMain is the "compso-bench crash" subcommand: the checkpoint-interval
+// recovery judge (analytic sweep over the modelzoo profiles) plus one
+// measured crash-and-restore proxy run.
+func crashMain(args []string) {
+	fs := flag.NewFlagSet("crash", flag.ExitOnError)
+	iters := fs.Int("iters", 0, "measured leg's training budget (0 = small CI default)")
+	quick := fs.Bool("quick", false, "CI-sized measured budget (same as the default today; reserved)")
+	jsonPath := fs.String("json", "", "write machine-readable sweep rows and the measured leg to this file")
+	_ = fs.Parse(args)
+	if *quick && *iters == 0 {
+		*iters = 12
+	}
+
+	rows, tb := experiments.CrashRecoverySweep()
+	fmt.Println(tb)
+	measured, err := experiments.CrashMeasuredRun(*iters)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash: measured leg: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("measured proxy leg: %d crash(es), %d restore(s), %d checkpoint save(s), %d checkpoint bytes\n",
+		measured.Restarts, measured.Restores, measured.Saves, measured.CkptBytes)
+	fmt.Printf("recovered run bit-identical to uninterrupted twin: %v\n", measured.BitIdentical)
+	fmt.Printf("measured recovery cost: %.4f simulated collective seconds per worker\n", measured.RecoverySec)
+
+	if *jsonPath != "" {
+		blob, err := json.MarshalIndent(map[string]any{
+			"crash_sweep":    rows,
+			"crash_measured": measured,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crash: encoding results: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonPath, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "crash: writing %s: %v\n", *jsonPath, err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)

@@ -26,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"compso/internal/ckpt"
 	"compso/internal/cluster"
 	"compso/internal/compress"
 	"compso/internal/compso"
@@ -49,6 +50,9 @@ func main() {
 		"simulated platform: "+strings.Join(cluster.Platforms(), ", ")+" (1/2 accepted as aliases)")
 	aggM := flag.Int("agg", 4, "layer aggregation factor")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the simulated timeline to this file")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (enables crash recovery when set)")
+	ckptEvery := flag.Int("ckpt-every", 0, "save a checkpoint every N completed steps (0 disables)")
+	resume := flag.String("resume", "", `resume from a checkpoint file, or "latest" for the newest in -ckpt`)
 	flag.Parse()
 
 	builders := map[string]func(rng *rand.Rand) *modelzoo.ProxyTask{
@@ -99,6 +103,27 @@ func main() {
 	if *tracePath != "" {
 		cfg.Obs = obs.NewRecorder()
 	}
+	// Checkpointing: -ckpt names the directory, -ckpt-every the cadence
+	// (setting one defaults the other sensibly), and -resume restarts from a
+	// saved file — "latest" resolves to the newest complete checkpoint.
+	if *ckptDir != "" && *ckptEvery <= 0 {
+		*ckptEvery = max(1, *iters/10)
+	}
+	cfg.Checkpoint = train.CheckpointConfig{Interval: *ckptEvery, Dir: *ckptDir}
+	if *resume == "latest" {
+		if *ckptDir == "" {
+			fail("-resume latest requires -ckpt")
+		}
+		path, err := ckpt.LatestPath(*ckptDir)
+		if err != nil {
+			fail("resume: %v", err)
+		}
+		if path == "" {
+			fail("resume: no checkpoints in %s", *ckptDir)
+		}
+		*resume = path
+	}
+	cfg.Checkpoint.Resume = *resume
 	if *optimizer == "kfac-cholesky" {
 		cfg.KFAC.Inversion = kfac.CholeskyInverse
 	}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"math/rand/v2"
 
+	"compso/internal/ckpt"
 	"compso/internal/cluster"
 	"compso/internal/compress"
 	internalcompso "compso/internal/compso"
@@ -308,6 +309,64 @@ func WithOverlap(on bool) TrainOption {
 func WithFusionBytes(n int) TrainOption {
 	return func(c *TrainConfig) { c.FusionBytes = n }
 }
+
+// CheckpointConfig enables periodic checkpointing and crash recovery for a
+// training run (TrainConfig.Checkpoint): every Interval completed steps the
+// complete training state — model, optimizer, compressor streams, RNG
+// positions, log and wire counters — is captured in a versioned,
+// CRC-guarded checkpoint, and a worker loss rolls every rank back to the
+// last one and resumes bit-identically to an uninterrupted run.
+type CheckpointConfig = train.CheckpointConfig
+
+// WorkerCrash declares a deterministic worker crash in a FaultPlan
+// (FaultPlan.Crashes): the rank dies at the configured step and point, the
+// survivors detect the loss at their next collective, and the run recovers
+// through the checkpoint configuration.
+type WorkerCrash = fault.WorkerCrash
+
+// CrashPoint selects where within a training step a WorkerCrash fires.
+type CrashPoint = fault.CrashPoint
+
+// The three crash points: at the top of the step, after backward but
+// before the gradient exchange, and on entry to one of the step's
+// collectives (the hardest detection case).
+const (
+	CrashAtStepStart   = fault.CrashAtStepStart
+	CrashMidStep       = fault.CrashMidStep
+	CrashMidCollective = fault.CrashMidCollective
+)
+
+// WithCheckpoint enables checkpointing every interval completed steps
+// (TrainConfig.Checkpoint.Interval). Checkpoints live in memory unless
+// WithCheckpointDir also names a directory; interval <= 0 disables
+// checkpointing.
+func WithCheckpoint(interval int) TrainOption {
+	return func(c *TrainConfig) { c.Checkpoint.Interval = interval }
+}
+
+// WithCheckpointDir persists checkpoints as atomically written,
+// step-numbered files under dir, so a later process can resume via
+// WithResume(LatestCheckpoint(dir)).
+func WithCheckpointDir(dir string) TrainOption {
+	return func(c *TrainConfig) { c.Checkpoint.Dir = dir }
+}
+
+// WithResume starts the run from a checkpoint file saved by an earlier run
+// with a matching configuration; "" starts fresh.
+func WithResume(path string) TrainOption {
+	return func(c *TrainConfig) { c.Checkpoint.Resume = path }
+}
+
+// WithMaxRestarts bounds how many worker-loss recoveries a run attempts
+// before giving up (default 3).
+func WithMaxRestarts(n int) TrainOption {
+	return func(c *TrainConfig) { c.Checkpoint.MaxRestarts = n }
+}
+
+// LatestCheckpoint returns the path of the newest complete checkpoint in a
+// WithCheckpointDir directory, or "" when it holds none — torn in-progress
+// writes are never selected.
+func LatestCheckpoint(dir string) (string, error) { return ckpt.LatestPath(dir) }
 
 // TrainWith applies options on top of a base TrainConfig and runs it — the
 // functional-options companion to Train for fault/observability toggles:

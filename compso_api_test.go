@@ -290,6 +290,70 @@ func TestFacadeObservedTraining(t *testing.T) {
 	}
 }
 
+// TestFacadeCrashRecovery drives the fault-tolerance surface end to end
+// through the facade: a run that loses a worker mid-step recovers from its
+// checkpoint directory and reproduces the uninterrupted twin bit-exactly,
+// LatestCheckpoint finds the newest complete file, and WithResume warm-starts
+// a fresh process from it to the same final loss.
+func TestFacadeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := func() compso.TrainConfig {
+		return compso.TrainConfig{
+			BuildTask: func(rng *rand.Rand) *compso.ProxyTask {
+				return compso.ProxyResNet(rng, 51)
+			},
+			Workers:  4,
+			Platform: compso.Platform1(),
+			Iters:    8,
+			Seed:     51,
+			Schedule: &compso.StepLR{BaseLR: 0.03, Drops: []int{6}, Gamma: 0.1},
+			NewCompressor: func(rank int) compso.Compressor {
+				return compso.New(compso.WithSeed(51))
+			},
+			AggregationM: 2,
+		}
+	}
+	plain, err := compso.TrainWith(base(), compso.WithCheckpoint(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := compso.TrainWith(base(),
+		compso.WithCheckpoint(3),
+		compso.WithCheckpointDir(dir),
+		compso.WithMaxRestarts(2),
+		compso.WithFaults(&compso.FaultPlan{Seed: 7, Crashes: []compso.WorkerCrash{
+			{Rank: 1, Point: compso.CrashMidStep, Step: 5},
+		}}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashed.Restarts != 1 {
+		t.Fatalf("got %d restarts, want 1", crashed.Restarts)
+	}
+	if crashed.FinalLoss != plain.FinalLoss || crashed.MeanCR != plain.MeanCR {
+		t.Fatalf("recovered run diverged: loss %v vs %v, CR %v vs %v",
+			crashed.FinalLoss, plain.FinalLoss, crashed.MeanCR, plain.MeanCR)
+	}
+	latest, err := compso.LatestCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest == "" {
+		t.Fatal("no checkpoint found in directory")
+	}
+	resumed, err := compso.TrainWith(base(),
+		compso.WithCheckpoint(3),
+		compso.WithResume(latest),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.FinalLoss != plain.FinalLoss {
+		t.Fatalf("resumed run diverged: loss %v vs %v", resumed.FinalLoss, plain.FinalLoss)
+	}
+}
+
 // TestFacadeObserverDisabledIsInert confirms the nil-observer contract at
 // the facade level: a run with and without an observer produces bit-equal
 // convergence results.

@@ -1,0 +1,88 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File persistence. Checkpoints are written atomically (temp file +
+// rename) under step-numbered names so LatestPath can recover the newest
+// complete checkpoint after a crash — a torn in-progress write never
+// shadows a good one.
+
+// FileName returns the canonical file name for a checkpoint at the given
+// completed-step count.
+func FileName(step int) string { return fmt.Sprintf("ckpt-%010d.ckpt", step) }
+
+// Save encodes the checkpoint and writes it atomically into dir, creating
+// the directory if needed. It returns the full path and the encoded size.
+func Save(dir string, c *Checkpoint) (string, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", 0, err
+	}
+	blob := c.Encode()
+	path := filepath.Join(dir, FileName(c.Step))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return "", 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", 0, err
+	}
+	return path, len(blob), nil
+}
+
+// Load reads and decodes a checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Decode(blob)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// LatestPath returns the path of the highest-step checkpoint in dir, or
+// "" when the directory holds none.
+func LatestPath(dir string) (string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil
+		}
+		return "", err
+	}
+	best, bestStep := "", -1
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s, ok := stepOf(name)
+		if ok && s >= bestStep {
+			best, bestStep = filepath.Join(dir, name), s
+		}
+	}
+	return best, nil
+}
+
+func stepOf(name string) (int, bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ".ckpt")
+	n, err := strconv.Atoi(mid)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}

@@ -1,0 +1,57 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode asserts Decode never panics and never trusts a
+// header claim it has not validated against the bytes actually present —
+// the same hardening standard as the compress PeekElements fix. The seed
+// corpus covers the golden blob plus the adversarial classes the error
+// taxonomy distinguishes: truncations, bit flips, and version bumps.
+func FuzzCheckpointDecode(f *testing.F) {
+	blob := goldenCheckpoint().Encode()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	f.Add([]byte("COMP"))
+	for _, n := range []int{len(magic), len(magic) + 6, len(blob) / 3, len(blob) / 2, len(blob) - 1} {
+		f.Add(append([]byte(nil), blob[:n]...))
+	}
+	flip := func(i int, mask byte) []byte {
+		b := append([]byte(nil), blob...)
+		b[i] ^= mask
+		return fixCRC(b)
+	}
+	f.Add(flip(8, 0xff))            // version bump
+	f.Add(flip(10, 0x7f))           // section count
+	f.Add(flip(14, 0xff))           // first section name length
+	f.Add(flip(len(blob)/2, 0x01))  // payload bit rot (CRC re-fixed)
+	f.Add(flip(len(blob)-20, 0x80)) // near-trailer flip
+	corrupt := append([]byte(nil), blob...)
+	corrupt[len(corrupt)/3] ^= 0x20 // CRC left stale: checksum path
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Decode(data)
+		if err != nil {
+			if c != nil {
+				t.Fatal("Decode returned a checkpoint alongside an error")
+			}
+			return
+		}
+		// A successful decode must re-encode to a canonical blob that
+		// decodes to the same state (the encoding itself is deterministic,
+		// but a fuzzer-found blob may not be canonical — e.g. unsorted
+		// counters — so compare decoded state, not bytes).
+		re := c.Encode()
+		c2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded checkpoint failed to decode: %v", err)
+		}
+		if !bytes.Equal(re, c2.Encode()) {
+			t.Fatal("canonical re-encoding is not a fixed point")
+		}
+	})
+}

@@ -48,6 +48,7 @@ type PendingReduce struct {
 // buffers are safe here — unlike AllGather/Broadcast payloads, nothing
 // retains it afterwards.
 func (w *Worker) AllReduceAsync(data []float64, category string) *PendingReduce {
+	w.enterCollective()
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) ([]any, []float64) {
 		vecs := make([][]float64, len(slots))
@@ -95,6 +96,7 @@ type PendingGather struct {
 // The payload is retained by other workers' goroutines after the launch,
 // so it must never come from the pool arena.
 func (w *Worker) AllGatherAsync(payload []byte, category string) *PendingGather {
+	w.enterCollective()
 	pool.AssertNotArena(payload, "AllGatherAsync payload")
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {

@@ -35,6 +35,12 @@ type Cluster struct {
 	// single-threaded with every rank blocked.
 	serializeWire bool
 	wireTail      float64
+
+	// incarnation is the restart attempt this cluster serves (crash
+	// recovery); downCh unblocks SendRecv waiters when a worker dies.
+	incarnation int
+	downOnce    sync.Once
+	downCh      chan struct{}
 }
 
 // traceCap bounds each worker's retained event trace (most recent events
@@ -54,6 +60,7 @@ func New(cfg Config, p int) *Cluster {
 		cfg: cfg, p: p, rv: newRendezvous(p),
 		engine: EngineFor(cfg, p),
 		pairs:  make(map[pairKey]*pairSlot),
+		downCh: make(chan struct{}),
 	}
 }
 
@@ -179,6 +186,9 @@ type Worker struct {
 	// step is the training loop's current iteration (SetStep), which
 	// windows transient fault injection.
 	step int
+	// collSeq counts the step's collective entries (reset by SetStep) —
+	// the site index mid-collective crash injection keys on.
+	collSeq int
 	// measSchedule/predSchedule accumulate each executed collective's
 	// makespan and its fault-free cost-model prediction — the divergence
 	// signal the training loop's straggler guard watches.
@@ -220,7 +230,7 @@ func (w *Worker) Faults() *fault.Injector { return w.cluster.faults }
 
 // SetStep tells the cluster which training iteration the worker is in, so
 // transient faults (straggler windows, corruption windows) can key on it.
-func (w *Worker) SetStep(it int) { w.step = it }
+func (w *Worker) SetStep(it int) { w.step = it; w.collSeq = 0 }
 
 // Step returns the last step set by SetStep.
 func (w *Worker) Step() int { return w.step }
@@ -402,6 +412,7 @@ func sameForAll(p int, v any) []any {
 // is the caller's choice). The wire charge is 4·len bytes (FP32 on the
 // wire), scheduled by the engine's chosen all-reduce algorithm.
 func (w *Worker) AllReduce(data []float64, category string) {
+	w.enterCollective()
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) ([]any, []float64) {
 		vecs := make([][]float64, len(slots))
@@ -422,6 +433,7 @@ func (w *Worker) AllReduce(data []float64, category string) {
 // returns all payloads in rank order — the collective COMPSO compresses.
 // The schedule uses the actual per-worker sizes.
 func (w *Worker) AllGather(payload []byte, category string) [][]byte {
+	w.enterCollective()
 	pool.AssertNotArena(payload, "AllGather payload")
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
@@ -441,6 +453,7 @@ func (w *Worker) AllGather(payload []byte, category string) [][]byte {
 
 // Broadcast sends root's payload to every worker.
 func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
+	w.enterCollective()
 	pool.AssertNotArena(payload, "Broadcast payload")
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, payload, func(slots []any, times []float64) ([]any, []float64) {
@@ -463,6 +476,7 @@ func (w *Worker) Broadcast(payload []byte, root int, category string) []byte {
 // [r·n/P, (r+1)·n/P) of the sum, with the last rank absorbing the
 // remainder).
 func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
+	w.enterCollective()
 	c := w.cluster
 	res, tEnd := c.rv.exchange(w.rank, w.simTime, data, func(slots []any, times []float64) ([]any, []float64) {
 		vecs := make([][]float64, len(slots))
@@ -485,6 +499,7 @@ func (w *Worker) ReduceScatter(data []float64, category string) []float64 {
 
 // Barrier synchronizes all workers' clocks to the maximum.
 func (w *Worker) Barrier() {
+	w.enterCollective()
 	_, tEnd := w.cluster.rv.exchange(w.rank, w.simTime, nil, func(_ []any, times []float64) ([]any, []float64) {
 		m := maxOf(times)
 		ends := make([]float64, len(times))
@@ -551,7 +566,21 @@ func (w *Worker) SendRecv(peer int, payload []byte, category string) []byte {
 	st := &pairSlot{payload: payload, t: w.simTime, reply: make(chan pairReply, 1)}
 	c.pairs[k] = st
 	c.pairMu.Unlock()
-	rep := <-st.reply
+	var rep pairReply
+	select {
+	case rep = <-st.reply:
+	case <-c.downCh:
+		// The partner (or any peer) died before pairing up; unwind like
+		// any other synchronization point. A race where the reply lands
+		// anyway is resolved in the reply's favor — the data exchange
+		// completed before the loss surfaced here.
+		select {
+		case rep = <-st.reply:
+		default:
+			_, p := c.rv.poisoned()
+			panic(p)
+		}
+	}
 	w.noteP2P(peer, max(len(payload), len(rep.payload)), w.simTime, rep.tEnd)
 	w.account(rep.tEnd, category)
 	return rep.payload
@@ -643,6 +672,10 @@ type rendezvous struct {
 	times   []float64
 	results []any
 	tEnds   []float64
+	// down, once set, permanently poisons the rendezvous: every current
+	// and future waiter unwinds with this *LostPanic (worker-loss
+	// detection at the synchronization point).
+	down *LostPanic
 }
 
 func newRendezvous(n int) *rendezvous {
@@ -655,8 +688,11 @@ func (r *rendezvous) exchange(rank int, t float64, payload any,
 	combine func(slots []any, times []float64) ([]any, []float64)) (any, float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for r.leaving > 0 {
+	for r.leaving > 0 && r.down == nil {
 		r.cond.Wait()
+	}
+	if r.down != nil {
+		panic(r.down)
 	}
 	r.slots[rank] = payload
 	r.times[rank] = t
@@ -673,8 +709,11 @@ func (r *rendezvous) exchange(rank int, t float64, payload any,
 		r.gen++
 		r.cond.Broadcast()
 	} else {
-		for gen == r.gen {
+		for gen == r.gen && r.down == nil {
 			r.cond.Wait()
+		}
+		if r.down != nil {
+			panic(r.down)
 		}
 	}
 	res, tEnd := r.results[rank], r.tEnds[rank]

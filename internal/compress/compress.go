@@ -63,6 +63,18 @@ type Stateful interface {
 	State() any
 }
 
+// Restorable is the optional contract for compressors whose stream state
+// can be re-installed from a State() snapshot — the checkpoint/restore
+// path. Restore accepts exactly the value the same type's State returned
+// and must leave the compressor bit-identical to the snapshotted one: the
+// next Compress produces the same bytes the original would have. Restore
+// rejects snapshots of the wrong type or an incompatible shape with an
+// error and leaves the receiver unchanged on failure.
+type Restorable interface {
+	Stateful
+	Restore(state any) error
+}
+
 // Decode decompresses a self-describing blob from any registered family,
 // dispatching on the magic byte. Every family's decode path is
 // receiver-stateless (blobs carry their own parameters), so a zero-value

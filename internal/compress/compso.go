@@ -61,6 +61,9 @@ type COMPSO struct {
 	// NewCOMPSO/Reseed. The fused kernels draw from it directly (same
 	// stream, no rand.Source dispatch); nil falls back to rng.
 	src *rand.PCG
+	// seed0 remembers the construction (or last Reseed) seed so Reset can
+	// restart the stochastic-rounding stream from its beginning.
+	seed0 int64
 }
 
 // NewCOMPSO returns a COMPSO compressor in aggressive mode with the paper's
@@ -75,6 +78,7 @@ func NewCOMPSO(seed int64) *COMPSO {
 		Rounding:      quant.SR,
 		rng:           rand.New(src),
 		src:           src,
+		seed0:         seed,
 	}
 }
 
@@ -87,6 +91,67 @@ func (c *COMPSO) Name() string { return "COMPSO" }
 func (c *COMPSO) Reseed(seed int64) {
 	c.src = xrand.NewPCG(seed)
 	c.rng = rand.New(c.src)
+	c.seed0 = seed
+}
+
+// COMPSOState is the State() snapshot: the exact position of the
+// stochastic-rounding PCG stream as rand.PCG MarshalBinary bytes (nil when
+// the compressor was built without a seeded stream, e.g. a zero-value
+// decoder). The byte blob is a deep copy.
+type COMPSOState struct {
+	RNG []byte
+}
+
+// Reset implements Stateful: the stochastic-rounding stream restarts from
+// the construction (or last Reseed) seed and the filter diagnostics clear.
+// Zero-value compressors without a seeded stream have no state to drop.
+func (c *COMPSO) Reset() {
+	if c.src != nil {
+		c.Reseed(c.seed0)
+	}
+	c.LastFilterTotal, c.LastFilterKept = 0, 0
+}
+
+// State implements Stateful. The only stream state COMPSO carries is the
+// RNG position — the filter/quantizer are otherwise memoryless per call.
+func (c *COMPSO) State() any {
+	st := COMPSOState{}
+	if c.src != nil {
+		// rand.PCG.MarshalBinary never fails and returns fresh bytes.
+		b, err := c.src.MarshalBinary()
+		if err != nil {
+			panic(fmt.Sprintf("compress: COMPSO PCG marshal: %v", err))
+		}
+		st.RNG = b
+	}
+	return st
+}
+
+// Restore implements Restorable: it re-installs a State() snapshot so the
+// stochastic-rounding stream continues from exactly the snapshotted
+// position.
+func (c *COMPSO) Restore(state any) error {
+	st, ok := state.(COMPSOState)
+	if !ok {
+		if p, ok2 := state.(*COMPSOState); ok2 {
+			st = *p
+		} else {
+			return fmt.Errorf("compress: COMPSO restore: snapshot type %T", state)
+		}
+	}
+	if st.RNG == nil {
+		if c.src != nil {
+			return fmt.Errorf("compress: COMPSO restore: snapshot has no RNG stream but compressor is seeded")
+		}
+		return nil
+	}
+	src := &rand.PCG{}
+	if err := src.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("compress: COMPSO restore: %w", err)
+	}
+	c.src = src
+	c.rng = rand.New(src)
+	return nil
 }
 
 // codec returns the configured back-end, defaulting to ANS.

@@ -113,6 +113,10 @@ func (e *ErrorFeedback) Reset() {
 type ErrorFeedbackState struct {
 	// Expect is the pinned stream length (0 before first use).
 	Expect int
+	// Pinned reports whether the stream length is pinned at all — it
+	// disambiguates "never used" from a stream legitimately pinned to
+	// length 0.
+	Pinned bool
 	// Residual is a copy of the in-flight error.
 	Residual []float32
 	// Inner is the inner compressor's snapshot when it is Stateful.
@@ -121,7 +125,7 @@ type ErrorFeedbackState struct {
 
 // State implements Stateful.
 func (e *ErrorFeedback) State() any {
-	st := ErrorFeedbackState{}
+	st := ErrorFeedbackState{Pinned: e.expectSet}
 	if e.expectSet {
 		st.Expect = e.expect
 	}
@@ -132,6 +136,38 @@ func (e *ErrorFeedback) State() any {
 		st.Inner = inner.State()
 	}
 	return st
+}
+
+// Restore implements Restorable: it re-installs a State() snapshot —
+// length pin, residual, and (recursively) the inner compressor's stream
+// state. The residual is copied out of the snapshot, never aliased. A
+// snapshot carrying inner state for a non-restorable inner compressor is
+// rejected rather than silently dropped.
+func (e *ErrorFeedback) Restore(state any) error {
+	st, ok := state.(ErrorFeedbackState)
+	if !ok {
+		if p, ok2 := state.(*ErrorFeedbackState); ok2 {
+			st = *p
+		} else {
+			return fmt.Errorf("compress: EF restore: snapshot type %T", state)
+		}
+	}
+	if st.Inner != nil {
+		inner, ok := e.Inner.(Restorable)
+		if !ok {
+			return fmt.Errorf("compress: EF restore: inner %T carries state but is not Restorable", e.Inner)
+		}
+		if err := inner.Restore(st.Inner); err != nil {
+			return err
+		}
+	}
+	e.expect, e.expectSet = st.Expect, st.Pinned || st.Expect > 0
+	if st.Residual != nil {
+		e.residual = append([]float32(nil), st.Residual...)
+	} else {
+		e.residual = nil
+	}
+	return nil
 }
 
 // ResidualNorm returns the L2 norm of the stored residual, a diagnostic

@@ -468,3 +468,41 @@ func (pc *PowerSGD) State() any {
 	}
 	return st
 }
+
+// Restore implements Restorable: it re-installs a State() snapshot — shape
+// pin, step parity, and deep copies of the warm-started factors — so the
+// next ReduceFactor/InstallReduced round continues the snapshotted stream
+// bit-exactly. The snapshot's rank must match the configured Rank (the
+// factor shapes depend on it).
+func (pc *PowerSGD) Restore(state any) error {
+	st, ok := state.(PowerSGDState)
+	if !ok {
+		if p, ok2 := state.(*PowerSGDState); ok2 {
+			st = *p
+		} else {
+			return fmt.Errorf("compress: PowerSGD restore: snapshot type %T", state)
+		}
+	}
+	if st.N != 0 && st.Rows*st.Cols < st.N {
+		return fmt.Errorf("compress: PowerSGD restore: shape %dx%d cannot hold %d values", st.Rows, st.Cols, st.N)
+	}
+	if st.P != nil && len(st.P) != st.Rows*st.Rank {
+		return fmt.Errorf("compress: PowerSGD restore: P factor %d values, want %d", len(st.P), st.Rows*st.Rank)
+	}
+	if st.Q != nil && len(st.Q) != st.Cols*st.Rank {
+		return fmt.Errorf("compress: PowerSGD restore: Q factor %d values, want %d", len(st.Q), st.Cols*st.Rank)
+	}
+	pc.n, pc.rows, pc.cols, pc.k = st.N, st.Rows, st.Cols, st.Rank
+	pc.phase, pc.step = st.Phase, st.Step
+	if st.P != nil {
+		pc.p = append([]float64(nil), st.P...)
+	} else {
+		pc.p = nil
+	}
+	if st.Q != nil {
+		pc.q = append([]float64(nil), st.Q...)
+	} else {
+		pc.q = nil
+	}
+	return nil
+}

@@ -26,6 +26,9 @@ type ChaosRow struct {
 	MeanCR    float64
 	// Fault-recovery tallies (zero on the fault-free baseline).
 	Corrupted, Retries, Fallbacks, Retunes int64
+	// Worker-crash tallies: crashes suffered and checkpoint restores that
+	// recovered them (scratch restarts recover without a restore).
+	WorkerCrashes, Restores int64
 }
 
 // chaosScenario names one fault plan of the matrix. A nil plan is the
@@ -52,6 +55,16 @@ func chaosScenarios() []chaosScenario {
 		{name: "straggler", plan: &fault.Plan{Seed: seed, Stragglers: straggler, Guard: guard}},
 		{name: "flaky-link", plan: &fault.Plan{Seed: seed, Links: links, Guard: guard}},
 		{name: "corruption", plan: &fault.Plan{Seed: seed, Corruption: corrupt, MaxRetries: 1}},
+		// Crash steps sit early so the scenarios fire at every iteration
+		// budget the matrix runs under (the CI default included), and one
+		// past the checkpoint cadence so recovery replays a full step's
+		// collectives — lost work must show up in the accumulated comm time.
+		{name: "crash-single", plan: &fault.Plan{Seed: seed, Crashes: []fault.WorkerCrash{
+			{Rank: 5, Point: fault.CrashMidStep, Step: 3},
+		}}},
+		{name: "crash-repeat", plan: &fault.Plan{Seed: seed, Crashes: []fault.WorkerCrash{
+			{Rank: 2, Point: fault.CrashMidCollective, Step: 2, Every: 1, Times: 2, CollSite: 1},
+		}}},
 		{name: "combined", plan: &fault.Plan{
 			Seed: seed, Stragglers: straggler, Links: links,
 			Corruption: corrupt, MaxRetries: 1, Guard: guard,
@@ -81,7 +94,20 @@ func chaosConfig(iters int, rec *obs.Recorder, plan *fault.Plan) train.Config {
 		AggregationM: 4,
 		Obs:          rec,
 		Fault:        plan,
+		Checkpoint:   ckptFor(plan),
 	}
+}
+
+// ckptFor enables checkpointing for scenarios whose plan can lose a
+// worker; the other scenarios keep the checkpoint-free fast path. The
+// cadence is fixed at 2 so the scenarios' crash steps land one past a
+// save at every budget the matrix runs under: recovery then replays a
+// full step of collectives and the lost work is measurable.
+func ckptFor(plan *fault.Plan) train.CheckpointConfig {
+	if !plan.HasCrashes() {
+		return train.CheckpointConfig{}
+	}
+	return train.CheckpointConfig{Interval: 2}
 }
 
 // ChaosMatrix runs the fault-injection matrix: the same instrumented 8-GPU
@@ -127,6 +153,8 @@ func ChaosMatrix(iters int, tracePath string) ([]ChaosRow, *Table, error) {
 			row.Retries = ev["retries"]
 			row.Fallbacks = ev["fallbacks"]
 			row.Retunes = ev["retunes"]
+			row.WorkerCrashes = ev["worker_crash"]
+			row.Restores = ev["restores"]
 		}
 		rows = append(rows, row)
 
@@ -146,7 +174,7 @@ func ChaosMatrix(iters int, tracePath string) ([]ChaosRow, *Table, error) {
 
 	tb := &Table{
 		Title:   "Chaos matrix: fault injection vs recovery (8 GPUs, K-FAC + COMPSO)",
-		Headers: []string{"scenario", "comm s", "final loss", "mean CR", "corrupted", "retries", "fallbacks", "retunes"},
+		Headers: []string{"scenario", "comm s", "final loss", "mean CR", "corrupted", "retries", "fallbacks", "retunes", "crashes", "restores"},
 	}
 	for _, r := range rows {
 		tb.Rows = append(tb.Rows, []string{
@@ -158,6 +186,8 @@ func ChaosMatrix(iters int, tracePath string) ([]ChaosRow, *Table, error) {
 			fmt.Sprintf("%d", r.Retries),
 			fmt.Sprintf("%d", r.Fallbacks),
 			fmt.Sprintf("%d", r.Retunes),
+			fmt.Sprintf("%d", r.WorkerCrashes),
+			fmt.Sprintf("%d", r.Restores),
 		})
 	}
 	return rows, tb, nil

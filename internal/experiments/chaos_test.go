@@ -13,15 +13,15 @@ import (
 // recovery events, and a schema-valid combined trace.
 func TestChaosMatrix(t *testing.T) {
 	if testing.Short() {
-		t.Skip("chaos matrix trains 5 scenarios; skipped in -short")
+		t.Skip("chaos matrix trains 7 scenarios; skipped in -short")
 	}
 	tracePath := filepath.Join(t.TempDir(), "chaos-trace.json")
 	rows, tb, err := ChaosMatrix(4, tracePath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("got %d scenarios, want 5", len(rows))
+	if len(rows) != 7 {
+		t.Fatalf("got %d scenarios, want 7", len(rows))
 	}
 	byName := map[string]ChaosRow{}
 	for _, r := range rows {
@@ -41,7 +41,16 @@ func TestChaosMatrix(t *testing.T) {
 	if comb.CommSec <= base.CommSec {
 		t.Fatalf("combined faults did not slow communication: %g vs baseline %g", comb.CommSec, base.CommSec)
 	}
-	if tb == nil || len(tb.Rows) != 5 {
+	if cs := byName["crash-single"]; cs.WorkerCrashes != 1 || cs.Restores != 1 {
+		t.Fatalf("crash-single should lose and restore one worker: %+v", cs)
+	}
+	if cr := byName["crash-repeat"]; cr.WorkerCrashes != 2 || cr.Restores != 2 {
+		t.Fatalf("crash-repeat should crash twice and restore twice: %+v", cr)
+	}
+	if cs := byName["crash-single"]; cs.CommSec <= base.CommSec {
+		t.Fatalf("lost work did not show up in accumulated comm time: %g vs baseline %g", cs.CommSec, base.CommSec)
+	}
+	if tb == nil || len(tb.Rows) != 7 {
 		t.Fatal("table rendering missing rows")
 	}
 	blob, err := os.ReadFile(tracePath)

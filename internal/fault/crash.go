@@ -1,0 +1,188 @@
+package fault
+
+import "fmt"
+
+// Worker-crash injection: the fourth fault class. Unlike stragglers, link
+// faults and corruption — which the training loop absorbs in place — a
+// crash kills a worker goroutine outright. The surviving ranks detect the
+// loss at their next collective (a bounded timeout in a real cluster,
+// modeled as a fixed simulated detection charge), abort the step, and the
+// training driver rolls every rank back to the last checkpoint and
+// resumes. Determinism still holds: every crash verdict is a pure
+// splitmix64 hash of (plan seed, rank, step, incarnation), where the
+// incarnation counts restarts, so a crash-every-N scenario replays the
+// same crashes in the same order on every run but does not re-crash
+// forever at the same replayed step.
+
+// CrashPoint selects where within a training step the worker dies.
+type CrashPoint int
+
+const (
+	// CrashAtStepStart kills the worker at the top of the step, before
+	// the forward pass — no collective is in flight anywhere.
+	CrashAtStepStart CrashPoint = iota
+	// CrashMidStep kills the worker after backward, before the gradient
+	// exchange — the worker holds fresh local state it never shared.
+	CrashMidStep
+	// CrashMidCollective kills the worker on entry to one of the step's
+	// collective operations, while the survivors are (or will be) blocked
+	// inside the same rendezvous — the hardest detection case.
+	CrashMidCollective
+)
+
+// String names the crash point for telemetry and test output.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashAtStepStart:
+		return "step-start"
+	case CrashMidStep:
+		return "mid-step"
+	case CrashMidCollective:
+		return "mid-collective"
+	}
+	return fmt.Sprintf("crash-point-%d", int(p))
+}
+
+// WorkerCrash declares deterministic crashes for one rank. Two site
+// modes:
+//
+//   - Exact (Rate == 0): the worker crashes at Step, then — when Every > 0
+//     — again at Step + Every, Step + 2·Every, ... on subsequent
+//     incarnations, up to Times crashes (default 1).
+//   - Windowed (Rate > 0): each step in [FromStep, ToStep) draws a crash
+//     with probability Rate, re-drawn per incarnation so a restored run
+//     does not deterministically re-crash at the replayed step. Times
+//     bounds the total crashes (0 = bounded only by the driver's restart
+//     budget).
+type WorkerCrash struct {
+	// Rank is the worker that dies.
+	Rank int
+	// Point is where within the step the worker dies.
+	Point CrashPoint
+	// Step is the exact crash step (exact mode).
+	Step int
+	// Every spaces repeated crashes across incarnations (exact mode).
+	Every int
+	// Times bounds how many incarnations crash (default 1 in exact mode,
+	// unbounded in windowed mode).
+	Times int
+	// Rate enables windowed mode: per-step crash probability in [0,1].
+	Rate float64
+	// FromStep and ToStep bound the windowed mode's step range; ToStep <=
+	// 0 means no upper bound.
+	FromStep, ToStep int
+	// CollSite picks which collective entry of the step dies for
+	// CrashMidCollective: 1 = the first collective, 2 = the second, ...; 0
+	// draws a deterministic site among the step's first four entries.
+	CollSite int
+	// DetectSec is the simulated detection timeout the survivors charge
+	// when the loss surfaces (default 0.25 s).
+	DetectSec float64
+}
+
+func (c WorkerCrash) validate() error {
+	if c.Rank < 0 {
+		return fmt.Errorf("rank %d", c.Rank)
+	}
+	if c.Point < CrashAtStepStart || c.Point > CrashMidCollective {
+		return fmt.Errorf("unknown crash point %d", int(c.Point))
+	}
+	if c.Rate < 0 || c.Rate > 1 {
+		return fmt.Errorf("rate %g outside [0,1]", c.Rate)
+	}
+	if c.Rate == 0 && c.Step < 0 {
+		return fmt.Errorf("negative crash step %d", c.Step)
+	}
+	if c.Every < 0 || c.Times < 0 || c.CollSite < 0 {
+		return fmt.Errorf("negative Every/Times/CollSite")
+	}
+	if c.Rate > 0 && c.ToStep > 0 && c.ToStep <= c.FromStep {
+		return fmt.Errorf("crash window [%d,%d) is empty", c.FromStep, c.ToStep)
+	}
+	if c.DetectSec < 0 {
+		return fmt.Errorf("negative DetectSec %g", c.DetectSec)
+	}
+	return nil
+}
+
+// crashesAt reports whether this declaration kills its rank at (step,
+// incarnation).
+func (c WorkerCrash) crashesAt(inj *Injector, step, incarnation int) bool {
+	if c.Rate > 0 {
+		if c.Times > 0 && incarnation >= c.Times {
+			return false
+		}
+		if step < c.FromStep || (c.ToStep > 0 && step >= c.ToStep) {
+			return false
+		}
+		h := inj.hash(0x44, uint64(c.Rank), uint64(step), uint64(incarnation))
+		return unit(h) < c.Rate
+	}
+	times := c.Times
+	if times <= 0 {
+		times = 1
+	}
+	if incarnation >= times {
+		return false
+	}
+	if c.Every > 0 {
+		return step == c.Step+incarnation*c.Every
+	}
+	return incarnation == 0 && step == c.Step
+}
+
+// ShouldCrash reports whether the worker dies during this step of this
+// incarnation (restart count), and at which point. Like every other fault
+// verdict it is a pure function of the plan — all ranks could compute it,
+// though only the victim acts on it.
+func (inj *Injector) ShouldCrash(rank, step, incarnation int) (CrashPoint, bool) {
+	if inj == nil {
+		return 0, false
+	}
+	for _, c := range inj.plan.Crashes {
+		if c.Rank == rank && c.crashesAt(inj, step, incarnation) {
+			return c.Point, true
+		}
+	}
+	return 0, false
+}
+
+// CrashCollectiveSite returns which collective entry of the step (1-based)
+// the worker dies on, for a CrashMidCollective verdict: the declared
+// CollSite, or a deterministic draw among the step's first four entries.
+func (inj *Injector) CrashCollectiveSite(rank, step, incarnation int) int {
+	if inj == nil {
+		return 1
+	}
+	for _, c := range inj.plan.Crashes {
+		if c.Rank == rank && c.crashesAt(inj, step, incarnation) {
+			if c.CollSite > 0 {
+				return c.CollSite
+			}
+			h := inj.hash(0x45, uint64(rank), uint64(step), uint64(incarnation))
+			return 1 + int(h%4)
+		}
+	}
+	return 1
+}
+
+// DetectSeconds returns the simulated detection timeout survivors charge
+// when a worker loss surfaces: the largest DetectSec across the plan's
+// crash declarations, defaulting to 0.25 s.
+func (inj *Injector) DetectSeconds() float64 {
+	d := 0.0
+	if inj != nil {
+		for _, c := range inj.plan.Crashes {
+			if c.DetectSec > d {
+				d = c.DetectSec
+			}
+		}
+	}
+	if d <= 0 {
+		d = 0.25
+	}
+	return d
+}
+
+// HasCrashes reports whether the plan declares any worker crashes.
+func (p *Plan) HasCrashes() bool { return p != nil && len(p.Crashes) > 0 }

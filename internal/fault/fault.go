@@ -54,6 +54,9 @@ type Plan struct {
 	Links []LinkFault
 	// Corruption flips bits in compressed payloads on the wire.
 	Corruption Corruption
+	// Crashes kill chosen workers at deterministic sites; the training
+	// loop recovers by rolling every rank back to the last checkpoint.
+	Crashes []WorkerCrash
 	// MaxRetries bounds the per-blob decode retries before the training
 	// loop falls back to a lossless re-broadcast (default 2).
 	MaxRetries int
@@ -201,6 +204,11 @@ func (p *Plan) Validate() error {
 	if p.Guard.Patience < 0 {
 		return fmt.Errorf("fault: negative guard patience %d", p.Guard.Patience)
 	}
+	for i, c := range p.Crashes {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("fault: crash %d: %w", i, err)
+		}
+	}
 	return nil
 }
 
@@ -209,7 +217,7 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	return len(p.Stragglers) > 0 || len(p.Links) > 0 || p.Corruption.Rate > 0
+	return len(p.Stragglers) > 0 || len(p.Links) > 0 || p.Corruption.Rate > 0 || len(p.Crashes) > 0
 }
 
 // Retries returns the effective decode-retry budget.

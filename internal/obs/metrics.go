@@ -29,6 +29,18 @@ func (c *Counter) Add(v float64) {
 // Inc increments the counter by one.
 func (c *Counter) Inc() { c.Add(1) }
 
+// Set overwrites the counter's total. Counters are otherwise monotonic;
+// Set exists for exactly one caller class — checkpoint restore, which must
+// rewind cumulative tallies (wire bytes, step counts) to the snapshotted
+// values so a resumed run reports totals bit-identical to an uninterrupted
+// one.
+func (c *Counter) Set(v float64) {
+	if c == nil {
+		return
+	}
+	c.bits.Store(math.Float64bits(v))
+}
+
 // Value returns the current total (0 for nil).
 func (c *Counter) Value() float64 {
 	if c == nil {
@@ -163,6 +175,25 @@ func (r *Recorder) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// CounterNames returns the names of all counters created so far that
+// start with prefix (all of them for ""), in unspecified order. A nil
+// recorder returns nil. Checkpoint restore uses it to find stale counters
+// that must be rewound alongside the snapshotted ones.
+func (r *Recorder) CounterNames(prefix string) []string {
+	if r == nil {
+		return nil
+	}
+	r.metricsMu.Lock()
+	defer r.metricsMu.Unlock()
+	var names []string
+	for name := range r.counters {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			names = append(names, name)
+		}
+	}
+	return names
 }
 
 // Gauge returns the named gauge, creating it on first use. A nil recorder

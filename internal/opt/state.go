@@ -1,0 +1,49 @@
+package opt
+
+import (
+	"fmt"
+
+	"compso/internal/nn"
+)
+
+// Checkpoint/restore support for SGD. The velocity map is keyed by
+// parameter pointer, which does not survive serialization; capture and
+// restore therefore work positionally against a caller-supplied parameter
+// slice (the model's nn.Params() order, which is deterministic).
+
+// CaptureVelocity deep-copies the momentum velocity of each parameter, in
+// params order. Parameters that have not been stepped yet (no velocity
+// allocated) contribute a nil entry.
+func (s *SGD) CaptureVelocity(params []*nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		if v := s.velocity[p]; v != nil {
+			out[i] = append([]float64(nil), v...)
+		}
+	}
+	return out
+}
+
+// RestoreVelocity installs a CaptureVelocity snapshot positionally,
+// deep-copying each slice. Lengths must match the parameters exactly.
+func (s *SGD) RestoreVelocity(params []*nn.Param, vel [][]float64) error {
+	if len(vel) != len(params) {
+		return fmt.Errorf("opt: SGD restore: %d velocity entries, %d params", len(vel), len(params))
+	}
+	for i, p := range params {
+		if vel[i] != nil && len(vel[i]) != len(p.W.Data) {
+			return fmt.Errorf("opt: SGD restore: param %d velocity %d values, want %d", i, len(vel[i]), len(p.W.Data))
+		}
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*nn.Param][]float64)
+	}
+	for i, p := range params {
+		if vel[i] != nil {
+			s.velocity[p] = append([]float64(nil), vel[i]...)
+		} else {
+			delete(s.velocity, p)
+		}
+	}
+	return nil
+}

@@ -39,7 +39,9 @@ var debugEnabled atomic.Bool
 
 func init() {
 	if v := os.Getenv("COMPSO_POOL_DEBUG"); v != "" && v != "0" {
-		debugEnabled.Store(true)
+		// SetDebug, not a bare Store: the tracker map must exist before
+		// the first tracked Get/Put.
+		SetDebug(true)
 	}
 }
 

@@ -49,10 +49,24 @@ func sgdIterationOverlap(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTask
 	}
 	phase := tel.beginPhase("grad-sync")
 	buckets, pend, bufs := launchGradBuckets(w, task, cfg.FusionBytes)
+	defer releaseBuckets(bufs)
 	installGradBuckets(w, task, buckets, pend, bufs)
 	tel.endPhase(phase)
 	sgd.Step(task.Model.Params(), lr)
 	return nil
+}
+
+// releaseBuckets recycles whatever bucket staging buffers are still
+// outstanding — the normal install path hands each back (and nils its
+// slot) as soon as it scatters, so this deferred sweep only pays out when
+// a worker-loss panic unwinds between launch and install.
+func releaseBuckets(bufs [][]float64) {
+	for i, b := range bufs {
+		if b != nil {
+			pool.PutF64(b)
+			bufs[i] = nil
+		}
+	}
 }
 
 // launchGradBuckets flattens the model gradient into fused buckets and
@@ -64,6 +78,15 @@ func launchGradBuckets(w *cluster.Worker, task *modelzoo.ProxyTask, fusionBytes 
 	buckets := fuseBuckets(gradSizes(params), fusionBytes)
 	pend := make([]*cluster.PendingReduce, len(buckets))
 	bufs := make([][]float64, len(buckets))
+	// A later launch can unwind on a worker-loss panic; hand the already-
+	// staged buffers back before re-panicking so nothing leaks from the
+	// arena (callers never see bufs in that case).
+	defer func() {
+		if r := recover(); r != nil {
+			releaseBuckets(bufs)
+			panic(r)
+		}
+	}()
 	for b, bk := range buckets {
 		buf := pool.F64(bk.elems)[:0]
 		for _, p := range params[bk.start:bk.end] {
@@ -90,6 +113,7 @@ func installGradBuckets(w *cluster.Worker, task *modelzoo.ProxyTask, buckets []b
 			}
 		}
 		pool.PutF64(bufs[b])
+		bufs[b] = nil
 	}
 }
 
@@ -132,6 +156,7 @@ func kfacIterationOverlap(w *cluster.Worker, cfg Config, task *modelzoo.ProxyTas
 		}
 	}
 	buckets, pend, bufs := launchGradBuckets(w, task, cfg.FusionBytes)
+	defer releaseBuckets(bufs)
 	tel.endPhase(phase)
 
 	// Step 2: factor sync + eigendecomposition, overlapping the buckets.

@@ -9,11 +9,13 @@ package train
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand/v2"
 	"sync"
 
+	"compso/internal/ckpt"
 	"compso/internal/cluster"
 	"compso/internal/compress"
 	"compso/internal/compso"
@@ -101,11 +103,17 @@ type Config struct {
 	// never changes simulated results, only observes them.
 	Obs *obs.Recorder
 	// Fault declares a deterministic fault scenario (see package fault):
-	// straggler compute slowdowns, degraded/flaky links, and in-flight
-	// payload corruption with bounded-retry + lossless-fallback recovery.
-	// Nil (the default) runs the fault-free fast path bit-identically to
-	// a config without the field.
+	// straggler compute slowdowns, degraded/flaky links, in-flight
+	// payload corruption with bounded-retry + lossless-fallback recovery,
+	// and worker crashes (recovered through Checkpoint). Nil (the default)
+	// runs the fault-free fast path bit-identically to a config without
+	// the field.
 	Fault *fault.Plan
+	// Checkpoint enables periodic checkpointing and crash recovery (see
+	// ckpt.go): with Interval > 0 a worker loss rolls every rank back to
+	// the last checkpoint and resumes bit-identically to an uninterrupted
+	// run.
+	Checkpoint CheckpointConfig
 }
 
 // Result is the training log collected on rank 0.
@@ -130,10 +138,15 @@ type Result struct {
 	// simulated timeline.
 	Metrics *obs.Snapshot
 	// FaultEvents tallies the fault-recovery events of the run (keys
-	// "corrupted", "retries", "fallbacks", "retunes"); nil when
-	// Config.Fault was nil. The same tallies appear as "fault/..."
-	// counters in Metrics when observability is on.
+	// "corrupted", "retries", "fallbacks", "retunes", and — with worker
+	// crashes in the plan — "worker_crash" and "restores"); nil when
+	// Config.Fault was nil. The same tallies appear as "fault/..." and
+	// "ckpt/..." counters in Metrics when observability is on, and they
+	// accumulate across restart attempts.
 	FaultEvents map[string]int64
+	// Restarts is how many crash recoveries the run went through (0 for an
+	// undisturbed run).
+	Restarts int
 }
 
 func (c *Config) withDefaults() Config {
@@ -160,7 +173,9 @@ func (c *Config) withDefaults() Config {
 }
 
 // Run executes the training run and returns rank 0's log. Any worker error
-// aborts the run.
+// aborts the run — except a worker loss under an enabled checkpoint
+// configuration, which rolls every rank back to the last checkpoint on a
+// fresh cluster and resumes, up to MaxRestarts times.
 func Run(c Config) (*Result, error) {
 	cfg := c.withDefaults()
 	if cfg.Workers <= 0 || cfg.Iters <= 0 || cfg.BuildTask == nil || cfg.Schedule == nil {
@@ -177,38 +192,141 @@ func Run(c Config) (*Result, error) {
 			return nil, fmt.Errorf("train: NewLayerCompressor and NewCompressor are mutually exclusive")
 		}
 	}
+	var start *ckpt.Checkpoint
+	if cfg.Checkpoint.Resume != "" {
+		var err error
+		start, err = ckpt.Load(cfg.Checkpoint.Resume)
+		if err != nil {
+			return nil, fmt.Errorf("train: resume: %w", err)
+		}
+	}
+	coord := newCkptCoord(cfg)
+	var tally map[string]int64
+	if cfg.Fault != nil {
+		tally = map[string]int64{}
+	}
+	// Simulated-time stats accumulate across restart attempts: the work
+	// lost between a checkpoint and a crash still consumed compute and
+	// wire time, which is exactly what the recovery judge prices.
+	commAccum := map[string]float64{}
+	algAccum := map[string]float64{}
+	restarts := 0
+	for attempt := 0; ; attempt++ {
+		if start != nil {
+			if err := validateResume(cfg, start); err != nil {
+				return nil, err
+			}
+		}
+		result, workers, err := runAttempt(cfg, attempt, start, coord, tally)
+		merged, _ := cluster.MergeStats(workers)
+		for k, v := range merged {
+			commAccum[k] += v
+		}
+		for k, v := range cluster.MergeAlgStats(workers) {
+			algAccum[k] += v
+		}
+		if err == nil {
+			for k, v := range commAccum {
+				result.CommSeconds[k] = v / float64(cfg.Workers)
+			}
+			for k, v := range algAccum {
+				result.AlgSeconds[k] = v / float64(cfg.Workers)
+			}
+			result.Restarts = restarts
+			if cfg.Obs != nil {
+				snap := cfg.Obs.Snapshot()
+				result.Metrics = &snap
+			}
+			return result, nil
+		}
+		var lost *cluster.WorkerLost
+		if !errors.As(err, &lost) || attempt >= cfg.Checkpoint.maxRestartsOrDefault() {
+			return nil, err
+		}
+		// Crash recovery: count the loss, discard the poisoned cluster,
+		// and roll back to the newest checkpoint (nil restarts from
+		// scratch when the crash beat the first save).
+		restarts++
+		if tally != nil {
+			tally["worker_crash"]++
+		}
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("fault/worker_crash").Inc()
+		}
+		rp, rerr := coord.restorePoint()
+		if rerr != nil {
+			return nil, fmt.Errorf("train: recovering from %v: %w", lost, rerr)
+		}
+		start = rp
+		if start != nil {
+			if tally != nil {
+				tally["restores"]++
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.Counter("ckpt/restores").Inc()
+			}
+		}
+	}
+}
+
+// runAttempt executes one incarnation of the run on a fresh cluster,
+// optionally restored from a checkpoint. It returns the workers for stats
+// merging even on error; a *cluster.WorkerLost error (and only that) marks
+// the attempt as recoverable.
+func runAttempt(cfg Config, attempt int, start *ckpt.Checkpoint, coord *ckptCoord,
+	tally map[string]int64) (*Result, []*cluster.Worker, error) {
+
 	inj, err := fault.NewInjector(cfg.Fault)
 	if err != nil {
-		return nil, fmt.Errorf("train: %w", err)
+		return nil, nil, fmt.Errorf("train: %w", err)
 	}
 	cl := cluster.New(cfg.Platform, cfg.Workers)
 	cl.Observe(cfg.Obs)
 	cl.InjectFaults(inj)
+	cl.SetIncarnation(attempt)
 	if cfg.Overlap {
 		cl.SerializeWire(true)
 	}
 	result := &Result{CommSeconds: map[string]float64{}, AlgSeconds: map[string]float64{}}
+	if start != nil {
+		preloadResult(result, start)
+		restoreCounters(cfg.Obs, start)
+	} else if attempt > 0 {
+		resetCounters(cfg.Obs)
+	}
 	var mu sync.Mutex
-	var firstErr error
 	// Per-rank compression-ratio accumulators: each worker adds to its own
 	// slot lock-free on the hot path, and the slots merge in rank order once
 	// the run finishes — so MeanCR is deterministic (the old shared-sum
 	// design both contended a mutex per compress call and summed floats in
-	// scheduler order).
+	// scheduler order). They are checkpointed per rank, so a resumed
+	// attempt continues the accumulation the uninterrupted run would have.
 	crs := make([]crAccum, cfg.Workers)
+	errs := make([]error, cfg.Workers)
 
 	workers := cl.Run(func(w *cluster.Worker) {
-		err := runWorker(w, cfg, result, &mu, &crs[w.Rank()])
-		if err != nil {
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("rank %d: %w", w.Rank(), err)
-			}
-			mu.Unlock()
+		if err := runWorker(w, cfg, result, &mu, &crs[w.Rank()], start, coord, tally); err != nil {
+			errs[w.Rank()] = fmt.Errorf("rank %d: %w", w.Rank(), err)
 		}
 	})
-	if firstErr != nil {
-		return nil, firstErr
+	// A genuine error outranks the worker-loss unwinds it may have caused
+	// on the other ranks; among pure losses any one identifies the crash.
+	var lostErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		var lost *cluster.WorkerLost
+		if errors.As(e, &lost) {
+			if lostErr == nil {
+				lostErr = e
+			}
+		} else {
+			return nil, workers, e
+		}
+	}
+	if lostErr != nil {
+		return nil, workers, lostErr
 	}
 	var crSum float64
 	var crCount int
@@ -219,26 +337,35 @@ func Run(c Config) (*Result, error) {
 	if crCount > 0 {
 		result.MeanCR = crSum / float64(crCount)
 	}
-	merged, _ := cluster.MergeStats(workers)
-	for k, v := range merged {
-		result.CommSeconds[k] = v / float64(cfg.Workers)
-	}
-	result.AlgSeconds = map[string]float64{}
-	for k, v := range cluster.MergeAlgStats(workers) {
-		result.AlgSeconds[k] = v / float64(cfg.Workers)
-	}
-	if cfg.Obs != nil {
-		snap := cfg.Obs.Snapshot()
-		result.Metrics = &snap
-	}
-	return result, nil
+	return result, workers, nil
 }
 
-// runWorker is the SPMD body.
-func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr *crAccum) error {
-	// Identical model on every worker; distinct data stream per worker.
+// runWorker is the SPMD body. A worker-crash unwind (the victim's
+// *CrashPanic, the survivors' *LostPanic) converts to a *cluster.WorkerLost
+// error for the driver's recovery loop; survivors additionally charge the
+// simulated peer-loss detection timeout. Any other panic is a bug and
+// propagates.
+func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr *crAccum,
+	start *ckpt.Checkpoint, coord *ckptCoord, tally map[string]int64) (err error) {
+	defer func() {
+		r := recover()
+		switch p := r.(type) {
+		case nil:
+		case *cluster.CrashPanic:
+			err = &cluster.WorkerLost{Rank: p.Rank, Step: p.Step, Point: p.Point}
+		case *cluster.LostPanic:
+			w.Compute(w.Faults().DetectSeconds(), "crash-detect")
+			err = &cluster.WorkerLost{Rank: p.Rank, Step: p.Step, Point: p.Point}
+		default:
+			panic(r)
+		}
+	}()
+	// Identical model on every worker; distinct data stream per worker. The
+	// data stream's PCG is held directly so its exact position can be
+	// checkpointed and restored (xrand.NewSeeded wraps the same generator).
 	task := cfg.BuildTask(xrand.NewSeeded(cfg.Seed))
-	dataRng := xrand.NewSeeded(cfg.Seed*1000 + 7 + int64(w.Rank()))
+	dataSrc := xrand.NewPCG(cfg.Seed*1000 + 7 + int64(w.Rank()))
+	dataRng := rand.New(dataSrc)
 
 	var optimizer *kfac.KFAC
 	var sgd *opt.SGD
@@ -264,10 +391,29 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 
 	evalGen := func() *rand.Rand { return xrand.NewSeeded(cfg.Seed*77 + 13) }
 	tel := newTele(w)
+	if tally != nil {
+		// Fault tallies survive restart attempts (rank 0 is the only
+		// writer, and attempts are sequential).
+		tel.faults = tally
+	}
 	fc := newFaultCtx(w, cfg, tel)
 
-	for it := 0; it < cfg.Iters; it++ {
+	startIt := 0
+	if start != nil {
+		if err := restoreWorker(w, cfg, start, task, sgd, optimizer, comp, layerComps, dataSrc, cr); err != nil {
+			return err
+		}
+		startIt = start.Step
+	}
+	crashes := cfg.Fault.HasCrashes() && w.Faults() != nil
+
+	for it := startIt; it < cfg.Iters; it++ {
 		w.SetStep(it)
+		if crashes {
+			if pt, ok := w.CrashDue(); ok && pt == fault.CrashAtStepStart {
+				w.Crash(pt.String())
+			}
+		}
 		tel.beginStep(it)
 		if cfg.Controller != nil {
 			if cc, ok := comp.(*compress.COMPSO); ok {
@@ -280,6 +426,11 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 		_, grad := task.Loss.Loss(logits, y)
 		task.Model.ZeroGrad()
 		task.Model.Backward(grad)
+		if crashes {
+			if pt, ok := w.CrashDue(); ok && pt == fault.CrashMidStep {
+				w.Crash(pt.String())
+			}
+		}
 
 		lr := cfg.Schedule.LR(it)
 		switch {
@@ -321,6 +472,13 @@ func runWorker(w *cluster.Worker, cfg Config, result *Result, mu *sync.Mutex, cr
 			result.FinalAcc = acc
 			mu.Unlock()
 		}
+
+		if coord != nil && (it+1)%cfg.Checkpoint.Interval == 0 {
+			if err := saveCheckpoint(w, cfg, coord, task, sgd, optimizer, comp, layerComps,
+				dataSrc, cr, result, mu, it+1); err != nil {
+				return err
+			}
+		}
 	}
 	if w.Rank() == 0 {
 		mu.Lock()
@@ -349,6 +507,9 @@ func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 		total += len(p.Grad.Data)
 	}
 	buf := pool.F64(total)[:0]
+	// Deferred so the buffer recycles even when the collective unwinds on a
+	// worker-loss panic.
+	defer func() { pool.PutF64(buf) }()
 	for _, p := range params {
 		buf = append(buf, p.Grad.Data...)
 	}
@@ -361,7 +522,6 @@ func allReduceGrads(w *cluster.Worker, model *nn.Sequential, category string) {
 			pos++
 		}
 	}
-	pool.PutF64(buf)
 }
 
 // sgdIteration is the first-order path: (optionally compressed) gradient
