@@ -72,6 +72,16 @@
 //	compso-bench overlap                  # full judge run
 //	compso-bench overlap -quick -validate # CI smoke: judge + trainer leg
 //	compso-bench overlap -json rows.json  # machine-readable report
+//
+// Mega-scale sweep: "compso-bench scale" replays the COMPSO training
+// loop's communication program on the discrete-event engine at 64 → 8192
+// simulated GPUs in one process — after a small-world leg proving the
+// event engine bit-identical to the goroutine engine — and writes a
+// machine-readable report (schema compso/bench-scale/v1):
+//
+//	compso-bench scale                       # full sweep, writes BENCH_PR10.json
+//	compso-bench scale -quick -max-heap-mb 4096 # CI smoke with RSS ceiling
+//	compso-bench scale -validate BENCH_PR10.json # schema-check a report
 package main
 
 import (
@@ -104,6 +114,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "overlap" {
 		overlapMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "scale" {
+		scaleMain(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "all", "experiment to run: all, quick, fig1, fig3, fig5, fig6, fig7, fig8, fig9, table1, table2, comm, ablation")

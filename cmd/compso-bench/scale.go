@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"compso/internal/experiments"
+)
+
+// scaleMain implements "compso-bench scale": run the mega-scale
+// discrete-event sweep (64 → 8192 simulated GPUs in one process, with a
+// small-world bit-identity leg against the goroutine engine) and emit the
+// machine-readable report.
+func scaleMain(args []string) {
+	fs := flag.NewFlagSet("scale", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "sweep 64/256/1024 only (CI smoke)")
+	out := fs.String("out", "BENCH_PR10.json", "write the JSON report here (empty = stdout table only)")
+	maxHeapMB := fs.Int("max-heap-mb", 0, "fail if runtime-owned memory exceeds this many MB after any world (0 = unlimited)")
+	validatePath := fs.String("validate", "", "validate an existing bench-scale JSON file and exit")
+	fs.Parse(args)
+
+	if *validatePath != "" {
+		blob, err := os.ReadFile(*validatePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scale validate: %v\n", err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidateScale(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "scale validate: %s: %v\n", *validatePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid bench-scale report\n", *validatePath)
+		return
+	}
+
+	rep, err := experiments.RunScale(*quick, *maxHeapMB)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Render())
+	fmt.Printf("event engine bit-identical to goroutine engine at worlds %v\n", rep.IdentityWorlds)
+	if *out == "" {
+		return
+	}
+	blob, err := rep.MarshalIndent()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "scale: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -47,6 +47,17 @@ type Cluster struct {
 // win); the full per-collective trace still feeds per-algorithm stats.
 const traceCap = 4096
 
+// traceRings recycles worker event rings. Rings are allocated lazily — a
+// worker that never retains an event (tracing disabled, or a run with no
+// collectives) never owns one — and at exactly traceCap capacity, so an
+// 8k-worker world does not pay append-doubling overshoot on thousands of
+// rings. Pooled rings are cleared on put so evicted events do not pin
+// payload-sized strings across runs.
+var traceRings = sync.Pool{New: func() any {
+	s := make([]collective.Event, 0, traceCap)
+	return &s
+}}
+
 // New creates a cluster of p workers on the given platform. It panics on an
 // invalid configuration, which is a programming error in experiment setup.
 func New(cfg Config, p int) *Cluster {
@@ -267,16 +278,41 @@ func (w *Worker) Stats() map[string]float64 { return w.stats }
 // engine's time breakdown. Read only after Run returns.
 func (w *Worker) AlgSeconds() map[string]float64 { return w.algStats }
 
-// Events returns the worker's retained event trace in arrival order (the
-// most recent traceCap entries). Read only after Run returns.
+// Events returns a copy of the worker's retained event trace in arrival
+// order (the most recent traceCap entries). Read only after Run returns.
+// The copy is what makes ReleaseTrace safe: recycling the ring never
+// invalidates a previously returned slice.
 func (w *Worker) Events() []collective.Event {
-	if len(w.trace) < traceCap {
-		return w.trace
-	}
 	out := make([]collective.Event, 0, len(w.trace))
 	out = append(out, w.trace[w.traceHead:]...)
 	out = append(out, w.trace[:w.traceHead]...)
 	return out
+}
+
+// ReleaseTrace returns the worker's event ring to the shared pool and
+// resets the trace to empty. Call once the events are no longer needed
+// (slices previously returned by Events remain valid — they are copies).
+func (w *Worker) ReleaseTrace() {
+	if w.trace == nil {
+		return
+	}
+	ring := w.trace[:cap(w.trace)]
+	clear(ring)
+	ring = ring[:0]
+	traceRings.Put(&ring)
+	w.trace, w.traceHead = nil, 0
+}
+
+// ReleaseTraces recycles every worker's event ring (see ReleaseTrace).
+// The training loop calls it when a run's workers are dropped, so long
+// sweeps and crash-recovery restarts reuse rings instead of growing the
+// heap by O(P·traceCap).
+func ReleaseTraces(workers []*Worker) {
+	for _, w := range workers {
+		if w != nil {
+			w.ReleaseTrace()
+		}
+	}
 }
 
 // TotalEvents returns how many trace events the worker has seen (including
@@ -384,6 +420,9 @@ func (w *Worker) noteObs(rec *obs.Recorder, out *collective.Outcome, tEnd float6
 
 func (w *Worker) addEvent(ev collective.Event) {
 	w.evTotal++
+	if w.trace == nil {
+		w.trace = *traceRings.Get().(*[]collective.Event)
+	}
 	if len(w.trace) < traceCap {
 		w.trace = append(w.trace, ev)
 		return
@@ -654,72 +693,4 @@ func MergeAlgStats(workers []*Worker) map[string]float64 {
 		}
 	}
 	return merged
-}
-
-// rendezvous is a reusable payload-carrying barrier: all P workers arrive
-// with a payload, the last arriver runs the combine function (producing a
-// per-rank result and per-rank completion time), everyone leaves with its
-// own. A round cannot begin until the previous round has fully drained,
-// which is what makes back-to-back collectives safe.
-type rendezvous struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	n       int
-	arrived int
-	leaving int
-	gen     uint64
-	slots   []any
-	times   []float64
-	results []any
-	tEnds   []float64
-	// down, once set, permanently poisons the rendezvous: every current
-	// and future waiter unwinds with this *LostPanic (worker-loss
-	// detection at the synchronization point).
-	down *LostPanic
-}
-
-func newRendezvous(n int) *rendezvous {
-	r := &rendezvous{n: n, slots: make([]any, n), times: make([]float64, n)}
-	r.cond = sync.NewCond(&r.mu)
-	return r
-}
-
-func (r *rendezvous) exchange(rank int, t float64, payload any,
-	combine func(slots []any, times []float64) ([]any, []float64)) (any, float64) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for r.leaving > 0 && r.down == nil {
-		r.cond.Wait()
-	}
-	if r.down != nil {
-		panic(r.down)
-	}
-	r.slots[rank] = payload
-	r.times[rank] = t
-	r.arrived++
-	gen := r.gen
-	if r.arrived == r.n {
-		r.results, r.tEnds = combine(r.slots, r.times)
-		if len(r.results) != r.n || len(r.tEnds) != r.n {
-			panic(fmt.Sprintf("cluster: combine returned %d results, %d times for %d ranks",
-				len(r.results), len(r.tEnds), r.n))
-		}
-		r.arrived = 0
-		r.leaving = r.n
-		r.gen++
-		r.cond.Broadcast()
-	} else {
-		for gen == r.gen && r.down == nil {
-			r.cond.Wait()
-		}
-		if r.down != nil {
-			panic(r.down)
-		}
-	}
-	res, tEnd := r.results[rank], r.tEnds[rank]
-	r.leaving--
-	if r.leaving == 0 {
-		r.cond.Broadcast()
-	}
-	return res, tEnd
 }

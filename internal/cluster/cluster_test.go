@@ -482,3 +482,38 @@ func TestReduceScatterTimeModel(t *testing.T) {
 		t.Fatal("reduce-scatter should cost less than all-reduce")
 	}
 }
+
+// BenchmarkRendezvousBarrier measures the raw rendezvous round-trip at
+// P=64: every iteration is one payload-free barrier round across all 64
+// goroutines. This is the wakeup-cost benchmark for the phase-counted
+// arrival barrier (vs the previous sync.Cond.Broadcast rendezvous).
+func BenchmarkRendezvousBarrier(b *testing.B) {
+	benchRendezvous(b, 64, func(w *Worker, rounds int) {
+		for i := 0; i < rounds; i++ {
+			w.Barrier()
+		}
+	})
+}
+
+// BenchmarkRendezvousAllReduce measures a small all-reduce per round at
+// P=64 — the rendezvous plus one engine-scheduled collective, the shape
+// of the training loop's hot path.
+func BenchmarkRendezvousAllReduce(b *testing.B) {
+	benchRendezvous(b, 64, func(w *Worker, rounds int) {
+		data := make([]float64, 64)
+		for i := 0; i < rounds; i++ {
+			w.AllReduce(data, "bench")
+		}
+	})
+}
+
+func benchRendezvous(b *testing.B, p int, fn func(w *Worker, rounds int)) {
+	cfg := tinyConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	c := New(cfg, p)
+	c.Run(func(w *Worker) {
+		w.DisableTrace()
+		fn(w, b.N)
+	})
+}

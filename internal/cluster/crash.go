@@ -103,21 +103,3 @@ func (w *Worker) enterCollective() {
 		w.Crash(pt.String())
 	}
 }
-
-// poison marks the rendezvous permanently down and wakes every waiter.
-func (r *rendezvous) poison(rank, step int, point string) {
-	r.mu.Lock()
-	if r.down == nil {
-		r.down = &LostPanic{Rank: rank, Step: step, Point: point}
-	}
-	r.cond.Broadcast()
-	r.mu.Unlock()
-}
-
-// poisoned reports whether a peer is down, and the panic value survivors
-// unwind with.
-func (r *rendezvous) poisoned() (bool, *LostPanic) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.down != nil, r.down
-}

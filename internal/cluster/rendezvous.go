@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// rendezvous is a reusable payload-carrying barrier: all P workers arrive
+// with a payload, the last arriver runs the combine function (producing a
+// per-rank result and per-rank completion time), everyone leaves with its
+// own.
+//
+// The implementation is a phase-counted arrival barrier with two
+// generation-parity round slots. An arriving rank writes its own slot and
+// counts down on the round's atomic arrival counter; every rank except
+// the last parks on the round's gate channel, and only the last arriver —
+// the combiner — does any work: it runs the combine, re-arms the parity
+// slot for the round after next, and releases the waiters with a single
+// channel close. Compared to the previous sync.Cond design this removes
+// both per-round Broadcasts (arrival and drain) and the thundering-herd
+// mutex reacquisition every woken waiter paid; the only O(P) cost left is
+// the runtime making P−1 parked goroutines runnable, which is the
+// physical minimum for a barrier.
+//
+// Double-buffered rounds make the explicit drain phase unnecessary: a
+// rank leaving round g can immediately enter round g+1, which uses the
+// other parity slot. It cannot reach round g+2 (same parity as g) before
+// every rank has arrived at g+1, which in turn requires every rank to
+// have left g — so a parity slot is never reused while any rank still
+// reads it. All cross-round publication is ordered by the arrival
+// counter's atomic operations and the gate channel close.
+type rendezvous struct {
+	n      int
+	gens   []uint64 // per-rank round counters (SPMD program order keeps them in agreement)
+	rounds [2]*rvRound
+
+	// down, once set, permanently poisons the rendezvous: every current
+	// and future waiter unwinds with this *LostPanic (worker-loss
+	// detection at the synchronization point).
+	down     atomic.Pointer[LostPanic]
+	downOnce sync.Once
+	downCh   chan struct{}
+}
+
+// rvRound is one generation-parity slot of the barrier.
+type rvRound struct {
+	arrived atomic.Int32
+	slots   []any
+	times   []float64
+	results []any
+	tEnds   []float64
+	gate    chan struct{}
+}
+
+func newRendezvous(n int) *rendezvous {
+	r := &rendezvous{n: n, gens: make([]uint64, n), downCh: make(chan struct{})}
+	for i := range r.rounds {
+		r.rounds[i] = &rvRound{
+			slots: make([]any, n),
+			times: make([]float64, n),
+			gate:  make(chan struct{}),
+		}
+	}
+	return r
+}
+
+func (r *rendezvous) exchange(rank int, t float64, payload any,
+	combine func(slots []any, times []float64) ([]any, []float64)) (any, float64) {
+	if p := r.down.Load(); p != nil {
+		panic(p)
+	}
+	g := r.gens[rank]
+	r.gens[rank] = g + 1
+	rd := r.rounds[g&1]
+	rd.slots[rank] = payload
+	rd.times[rank] = t
+	// Capture the gate before counting in: the combiner re-arms rd.gate
+	// for round g+2 as soon as the count completes.
+	gate := rd.gate
+	if int(rd.arrived.Add(1)) == r.n {
+		// Combiner: every rank has arrived, their slot writes are ordered
+		// before this point by the arrival counter.
+		results, tEnds := combine(rd.slots, rd.times)
+		if len(results) != r.n || len(tEnds) != r.n {
+			panic(fmt.Sprintf("cluster: combine returned %d results, %d times for %d ranks",
+				len(results), len(tEnds), r.n))
+		}
+		rd.results, rd.tEnds = results, tEnds
+		// Re-arm this parity for round g+2 before opening the gate; round
+		// g+2 cannot begin until every rank has passed through g+1, so no
+		// one reads the fresh gate or counter early.
+		rd.arrived.Store(0)
+		rd.gate = make(chan struct{})
+		close(gate)
+	} else {
+		select {
+		case <-gate:
+		case <-r.downCh:
+			// A peer died. If the round nevertheless completed (the close
+			// raced the poison), leave with the result — the exchange
+			// finished before the loss surfaced here.
+			select {
+			case <-gate:
+			default:
+				panic(r.down.Load())
+			}
+		}
+	}
+	return rd.results[rank], rd.tEnds[rank]
+}
+
+// poison marks the rendezvous permanently down and wakes every waiter.
+func (r *rendezvous) poison(rank, step int, point string) {
+	r.down.CompareAndSwap(nil, &LostPanic{Rank: rank, Step: step, Point: point})
+	r.downOnce.Do(func() { close(r.downCh) })
+}
+
+// poisoned reports whether a peer is down, and the panic value survivors
+// unwind with.
+func (r *rendezvous) poisoned() (bool, *LostPanic) {
+	p := r.down.Load()
+	return p != nil, p
+}

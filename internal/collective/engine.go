@@ -74,6 +74,10 @@ type Engine struct {
 	cost   CostModel
 	policy string
 	pert   LinkPerturber
+	// dropEvents disables per-transfer event retention in executed
+	// schedules (SetEventRetention). Timing, tuner feedback and Outcome
+	// end times are unaffected; Outcome.Events is simply empty.
+	dropEvents bool
 
 	mu    sync.Mutex
 	tuner *autotuner
@@ -127,6 +131,14 @@ func (e *Engine) SetPerturber(p LinkPerturber) {
 	e.pert = p
 	e.mu.Unlock()
 }
+
+// SetEventRetention enables or disables per-transfer event retention in
+// executed schedules (on by default). Mega-scale discrete-event runs turn
+// it off: a flat ring at P=8192 schedules ~67M transfers per collective,
+// and retaining them would dominate memory for traces nobody reads.
+// Timing is bit-identical either way — events only record, never steer.
+// Call before the engine starts executing collectives.
+func (e *Engine) SetEventRetention(on bool) { e.dropEvents = !on }
 
 // perturber returns the installed link perturber (nil when none).
 func (e *Engine) perturber() LinkPerturber {
@@ -299,8 +311,10 @@ func (e *Engine) dispatch(sp spec, starts []float64) *Outcome {
 	}
 	s := newSim(e.topo, sp.op, alg, starts)
 	s.pert = e.perturber()
+	s.dropEvents = e.dropEvents
 	e.scheduleFor(alg, sp)(s)
 	out := &Outcome{Op: sp.op, Algorithm: alg, Bytes: sp.total(), Start: start, Ends: s.clock, Events: s.events}
+	s.release()
 	e.mu.Lock()
 	out.Predicted = e.predictSeed(alg, sp)
 	e.tuner.record(sp.op, alg, sp.total(), out.MaxEnd()-start)
@@ -333,8 +347,10 @@ func (e *Engine) predictSeed(alg string, sp spec) float64 {
 		return v
 	}
 	s := newSim(e.topo, sp.op, alg, make([]float64, e.topo.P))
+	s.dropEvents = true // dry run: nobody reads the trace
 	e.scheduleFor(alg, sp)(s)
 	v := maxOf(s.clock)
+	s.release()
 	if len(e.tuner.seeds) < seedCacheCap {
 		e.tuner.seeds[key] = v
 	}
@@ -466,6 +482,46 @@ func (e *Engine) Broadcast(slots [][]byte, root int, starts []float64) ([]byte, 
 	data := slots[root]
 	out := e.dispatch(spec{op: OpBroadcast, sizes: []int{len(data)}, root: root}, starts)
 	return data, out
+}
+
+// Exec schedules one collective without moving any payload bytes — the
+// discrete-event (SimOnly) entry point. sizes follows the spec
+// convention of the payload-carrying calls: per-rank contribution bytes
+// for allgather, per-rank shard bytes for reducescatter, and a single
+// total wire size for allreduce and broadcast. starts holds each rank's
+// arrival time. The returned Outcome is exactly what the corresponding
+// payload call would have produced (same algorithm pick, same autotuner
+// feedback, same per-rank end times), which is what makes the event
+// engine bit-identical to the goroutine engine.
+func (e *Engine) Exec(op string, sizes []int, root int, starts []float64) *Outcome {
+	if len(starts) != e.topo.P {
+		panic(fmt.Sprintf("collective: Exec with %d starts, world %d", len(starts), e.topo.P))
+	}
+	switch op {
+	case OpAllGather, OpReduceScatter:
+		if len(sizes) != e.topo.P {
+			panic(fmt.Sprintf("collective: Exec %s with %d sizes, world %d", op, len(sizes), e.topo.P))
+		}
+	case OpAllReduce:
+		if len(sizes) != 1 {
+			panic(fmt.Sprintf("collective: Exec %s wants one total size, got %d", op, len(sizes)))
+		}
+	case OpBroadcast:
+		if len(sizes) != 1 {
+			panic(fmt.Sprintf("collective: Exec %s wants one total size, got %d", op, len(sizes)))
+		}
+		if root < 0 || root >= e.topo.P {
+			panic(fmt.Sprintf("collective: Exec broadcast root %d, world %d", root, e.topo.P))
+		}
+	default:
+		panic(fmt.Sprintf("collective: Exec unknown op %q", op))
+	}
+	for _, s := range sizes {
+		if s < 0 {
+			panic(fmt.Sprintf("collective: Exec %s with negative size %d", op, s))
+		}
+	}
+	return e.dispatch(spec{op: op, sizes: sizes, root: root}, starts)
 }
 
 // rankOrderSum adds the vectors in rank order, panicking on length

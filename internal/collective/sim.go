@@ -1,6 +1,10 @@
 package collective
 
-import "fmt"
+import (
+	"fmt"
+
+	"compso/internal/pool"
+)
 
 // Transfer is one point-to-point message inside a schedule step.
 type Transfer struct {
@@ -23,9 +27,15 @@ type sim struct {
 	// nicOut/nicIn are per-node NIC busy-until times (full duplex).
 	nicOut, nicIn []float64
 
+	// snap is the per-step clock snapshot scratch, reused across steps.
+	snap []float64
+
 	op, alg string
 	step    int
 	events  []Event
+	// dropEvents skips event retention (mega-scale runs where the trace
+	// would dominate memory); timing is unaffected.
+	dropEvents bool
 	// pert optionally perturbs per-transfer link timing (fault injection);
 	// nil charges the clean topology cost. Prediction dry runs leave it
 	// nil so the cost model keeps describing the healthy fabric.
@@ -33,19 +43,41 @@ type sim struct {
 }
 
 // newSim starts a collective at the given per-rank arrival times, charging
-// the per-collective launch cost to every rank.
+// the per-collective launch cost to every rank. All link-occupancy state
+// comes from the buffer pool; release returns it (the clock slice is a
+// plain allocation because it escapes as Outcome.Ends).
 func newSim(topo *Topology, op, alg string, starts []float64) *sim {
 	clock := make([]float64, topo.P)
 	for i := range clock {
 		clock[i] = starts[i] + topo.Launch
 	}
 	n := topo.Nodes()
+	egress := pool.F64(topo.P)
+	clear(egress)
+	ingress := pool.F64(topo.P)
+	clear(ingress)
+	nicOut := pool.F64(n)
+	clear(nicOut)
+	nicIn := pool.F64(n)
+	clear(nicIn)
 	return &sim{
 		topo: topo, clock: clock,
-		egress: make([]float64, topo.P), ingress: make([]float64, topo.P),
-		nicOut: make([]float64, n), nicIn: make([]float64, n),
-		op: op, alg: alg,
+		egress: egress, ingress: ingress,
+		nicOut: nicOut, nicIn: nicIn,
+		snap: pool.F64(topo.P),
+		op:   op, alg: alg,
 	}
+}
+
+// release returns the pooled occupancy scratch. The clock slice stays
+// valid (it is handed out as Outcome.Ends).
+func (s *sim) release() {
+	pool.PutF64(s.egress)
+	pool.PutF64(s.ingress)
+	pool.PutF64(s.nicOut)
+	pool.PutF64(s.nicIn)
+	pool.PutF64(s.snap)
+	s.egress, s.ingress, s.nicOut, s.nicIn, s.snap = nil, nil, nil, nil, nil
 }
 
 // runStep executes one step: every transfer's start time is derived from
@@ -57,7 +89,8 @@ func (s *sim) runStep(ts []Transfer) {
 		s.step++
 		return
 	}
-	snap := append([]float64(nil), s.clock...)
+	snap := s.snap
+	copy(snap, s.clock)
 	for _, tr := range ts {
 		if tr.Src == tr.Dst {
 			continue
@@ -88,6 +121,9 @@ func (s *sim) runStep(ts []Transfer) {
 		}
 		if end > s.clock[tr.Dst] {
 			s.clock[tr.Dst] = end
+		}
+		if s.dropEvents {
+			continue
 		}
 		s.events = append(s.events, Event{
 			Op: s.op, Algorithm: s.alg, Step: s.step,

@@ -1,0 +1,129 @@
+package des_test
+
+import (
+	"testing"
+
+	"compso/internal/cluster"
+	"compso/internal/des"
+	"compso/internal/fault"
+)
+
+func TestWorldBasics(t *testing.T) {
+	w := des.NewWorld(cluster.Platform1(), 8)
+	defer w.Release()
+
+	w.Compute(0.5, "fwd")
+	for r := 0; r < 8; r++ {
+		if got := w.TimeOf(r); got != 0.5 {
+			t.Fatalf("rank %d time after compute = %v, want 0.5", r, got)
+		}
+	}
+	w.AllReduce(1000, "sync")
+	if w.MaxTime() <= 0.5 {
+		t.Fatalf("all-reduce did not advance clocks: %v", w.MaxTime())
+	}
+	if got := w.WireBytes(); got != 4000 {
+		t.Fatalf("WireBytes = %d, want 4000", got)
+	}
+	if got := w.Collectives(); got != 1 {
+		t.Fatalf("Collectives = %d, want 1", got)
+	}
+	stats := w.StatsOf(0)
+	if stats["fwd"] != 0.5 {
+		t.Fatalf("stats[fwd] = %v, want 0.5", stats["fwd"])
+	}
+	if stats["sync"] <= 0 {
+		t.Fatalf("stats[sync] = %v, want > 0", stats["sync"])
+	}
+	if len(w.AlgSecondsOf(0)) == 0 {
+		t.Fatal("no per-algorithm attribution recorded")
+	}
+	meas, pred := w.ScheduleSeconds()
+	if meas <= 0 || pred <= 0 {
+		t.Fatalf("ScheduleSeconds = (%v, %v), want positive", meas, pred)
+	}
+	if w.Footprint() <= 0 {
+		t.Fatalf("Footprint = %d, want > 0", w.Footprint())
+	}
+}
+
+func TestWorldBarrier(t *testing.T) {
+	w := des.NewWorld(cluster.Platform1(), 4)
+	defer w.Release()
+	w.ComputeEach(func(r int) float64 { return float64(r + 1) }, "work")
+	w.Barrier()
+	for r := 0; r < 4; r++ {
+		if got := w.TimeOf(r); got != 4 {
+			t.Fatalf("rank %d time after barrier = %v, want 4", r, got)
+		}
+	}
+	if got := w.StatsOf(0)["barrier"]; got != 3 {
+		t.Fatalf("rank 0 barrier charge = %v, want 3", got)
+	}
+	if _, ok := w.StatsOf(3)["barrier"]; ok {
+		t.Fatal("slowest rank should have no barrier charge")
+	}
+}
+
+func TestWorldStragglerFaults(t *testing.T) {
+	inj, err := fault.NewInjector(&fault.Plan{
+		Seed:       3,
+		Stragglers: []fault.Straggler{{Rank: 1, Factor: 2, FromStep: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := des.NewWorld(cluster.Platform1(), 4)
+	defer w.Release()
+	w.InjectFaults(inj)
+	w.SetStep(0)
+	w.Compute(1, "work")
+	if got := w.TimeOf(1); got != 2 {
+		t.Fatalf("straggler rank time = %v, want 2", got)
+	}
+	if got := w.TimeOf(0); got != 1 {
+		t.Fatalf("healthy rank time = %v, want 1", got)
+	}
+}
+
+func TestWorldTracing(t *testing.T) {
+	w := des.NewWorld(cluster.Platform1(), 4)
+	defer w.Release()
+	if evs := w.EventsOf(0); evs != nil {
+		t.Fatalf("events retained with tracing off: %d", len(evs))
+	}
+	w.SetTracing(true)
+	w.AllGatherUniform(1024, "gather")
+	if w.TotalEventsOf(0) == 0 {
+		t.Fatal("no events retained with tracing on")
+	}
+	if len(w.EventsOf(0)) != int(w.TotalEventsOf(0)) {
+		t.Fatalf("EventsOf len %d != TotalEvents %d (under ring cap)",
+			len(w.EventsOf(0)), w.TotalEventsOf(0))
+	}
+}
+
+func TestWorldReleaseIdempotent(t *testing.T) {
+	w := des.NewWorld(cluster.Platform1(), 4)
+	w.AllReduce(100, "sync")
+	w.Release()
+	w.Release() // second release must be a no-op
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("collective on a released world should panic")
+		}
+	}()
+	w.AllReduce(100, "sync")
+}
+
+func TestProgramValidation(t *testing.T) {
+	w := des.NewWorld(cluster.Platform1(), 4)
+	defer w.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched per-rank sizes should panic")
+		}
+	}()
+	des.RunOnWorld(w, des.Program{{Kind: des.KindAllGather, Sizes: []int{1, 2, 3}, Category: "x"}})
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package des_test
+
+// raceEnabled reports that this test binary runs under the race detector.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package des_test
+
+// raceEnabled reports that this test binary runs under the race detector;
+// the mega-scale acceptance test skips there (its single-threaded event
+// loop has no races to find, and instrumentation makes the 8192-rank
+// schedule walk an order of magnitude slower).
+const raceEnabled = true

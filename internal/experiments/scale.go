@@ -1,0 +1,414 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"compso/internal/cluster"
+	"compso/internal/collective"
+	"compso/internal/des"
+	"compso/internal/train"
+)
+
+// Mega-scale sweep harness behind "compso-bench scale": the discrete-event
+// engine (internal/des) replays the COMPSO training loop's communication
+// program at world sizes the goroutine engine cannot reach (64 → 8192
+// ranks in one process), reporting wall-clock throughput (simulated
+// steps/second), per-worker memory footprint, and simulated comm time per
+// step. Before any mega run, an embedded small-world identity leg replays
+// the same program on BOTH engines and refuses to emit a report unless
+// the results are bit-identical — the golden contract guarding every
+// number in the sweep.
+
+// ScaleSchema identifies the bench-scale JSON format.
+const ScaleSchema = "compso/bench-scale/v1"
+
+// ScaleRow is one world size's measurement.
+type ScaleRow struct {
+	// Workers is the simulated world size; Nodes the node count it maps to.
+	Workers int `json:"workers"`
+	Nodes   int `json:"nodes"`
+	// Policy is the collective policy the sweep forced ("auto" below the
+	// mega threshold, "hierarchical" above — flat rings at 8k ranks cost
+	// millions of scheduled transfers per collective).
+	Policy string `json:"policy"`
+	// Steps is the number of simulated training iterations.
+	Steps int `json:"steps"`
+	// Collectives counts the executed collectives.
+	Collectives int64 `json:"collectives"`
+	// SimSeconds is the simulated makespan; CommSeconds the simulated
+	// seconds the slowest rank spent blocked in collectives.
+	SimSeconds  float64 `json:"sim_seconds"`
+	CommSeconds float64 `json:"comm_seconds"`
+	// WireGB is total gigabytes put on the simulated wire.
+	WireGB float64 `json:"wire_gb"`
+	// WallSeconds is real elapsed time for the replay; StepsPerSec the
+	// headline sim-steps/second throughput.
+	WallSeconds float64 `json:"wall_seconds"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// HeapBytes is the live-heap growth attributable to the run (bytes,
+	// measured after a GC with the world still held). FootprintBytes is
+	// the world's own per-rank simulator state (des.World.Footprint);
+	// BytesPerWorker is that divided by the world size.
+	HeapBytes      uint64  `json:"heap_bytes"`
+	FootprintBytes int64   `json:"footprint_bytes"`
+	BytesPerWorker float64 `json:"bytes_per_worker"`
+}
+
+// ScaleReport is the full sweep output.
+type ScaleReport struct {
+	Schema     string            `json:"schema"`
+	Quick      bool              `json:"quick"`
+	Model      string            `json:"model"`
+	Compressor string            `json:"compressor"`
+	Calib      train.CommSimInfo `json:"calibration"`
+	// IdentityWorlds lists the world sizes where the event engine was
+	// re-verified bit-identical to the goroutine engine before the sweep.
+	IdentityWorlds []int      `json:"identity_worlds"`
+	Rows           []ScaleRow `json:"rows"`
+	// Comm is the event-engine-measured collective breakdown at mega
+	// world sizes (the CommBreakdown experiment beyond goroutine reach).
+	Comm []CommRow `json:"comm"`
+}
+
+// megaPolicyThreshold is the world size at or above which the sweep
+// forces hierarchical schedules instead of autotuning: the tuner's
+// seeding dry-runs every algorithm, and one flat-ring dry run at 8192
+// ranks alone schedules ~67M transfers.
+const megaPolicyThreshold = 1024
+
+func scalePolicy(p int) string {
+	if p >= megaPolicyThreshold {
+		return "hierarchical"
+	}
+	return "auto"
+}
+
+// ScaleWorlds returns the sweep's world sizes. quick keeps CI runs fast.
+func ScaleWorlds(quick bool) []int {
+	if quick {
+		return []int{64, 256, 1024}
+	}
+	return []int{64, 256, 1024, 4096, 8192}
+}
+
+// RunScale executes the mega-scale sweep. maxHeapMB > 0 enforces a hard
+// ceiling on the process's total runtime-owned memory (runtime.MemStats
+// Sys — an RSS proxy) after every world; exceeding it fails the run.
+func RunScale(quick bool, maxHeapMB int) (*ScaleReport, error) {
+	simCfg := train.CommSimConfig{
+		Model:      "ResNet-50",
+		Compressor: "compso",
+		Steps:      20,
+		KFAC:       true,
+		Seed:       17,
+	}
+	if quick {
+		simCfg.Steps = 8
+	}
+	rep := &ScaleReport{
+		Schema:     ScaleSchema,
+		Quick:      quick,
+		Model:      simCfg.Model,
+		Compressor: simCfg.Compressor,
+	}
+
+	// Identity leg first: the event engine earns its numbers by matching
+	// the goroutine engine bit-for-bit on the same program at small P.
+	rep.IdentityWorlds = []int{3, 8}
+	for _, p := range rep.IdentityWorlds {
+		if err := verifyIdentity(simCfg, p); err != nil {
+			return nil, fmt.Errorf("experiments: scale identity leg (p=%d): %w", p, err)
+		}
+	}
+
+	for _, p := range ScaleWorlds(quick) {
+		row, calib, err := runScaleWorld(simCfg, p)
+		if err != nil {
+			return nil, err
+		}
+		rep.Calib = calib
+		rep.Rows = append(rep.Rows, row)
+		if maxHeapMB > 0 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.Sys > uint64(maxHeapMB)<<20 {
+				return nil, fmt.Errorf("experiments: scale sweep exceeded heap ceiling after p=%d: %d MB used, %d MB allowed",
+					p, ms.Sys>>20, maxHeapMB)
+			}
+		}
+	}
+
+	commWorldsList := []int{256, 1024}
+	if !quick {
+		commWorldsList = append(commWorldsList, 4096)
+	}
+	comm, err := MegaCommBreakdown(commWorldsList)
+	if err != nil {
+		return nil, err
+	}
+	rep.Comm = comm
+	return rep, nil
+}
+
+// runScaleWorld replays the workload program on one discrete-event world
+// and measures it.
+func runScaleWorld(simCfg train.CommSimConfig, p int) (ScaleRow, train.CommSimInfo, error) {
+	cfg := cluster.Platform1()
+	cfg.Collective = scalePolicy(p)
+	prog, calib, err := train.BuildCommProgram(simCfg, p)
+	if err != nil {
+		return ScaleRow{}, calib, err
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	w := des.NewWorld(cfg, p)
+	des.RunOnWorld(w, prog)
+	wall := time.Since(start).Seconds()
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	var heap uint64
+	if after.HeapAlloc > before.HeapAlloc {
+		heap = after.HeapAlloc - before.HeapAlloc
+	}
+	foot := w.Footprint()
+	row := ScaleRow{
+		Workers:        p,
+		Nodes:          (p + cfg.GPUsPerNode - 1) / cfg.GPUsPerNode,
+		Policy:         cfg.Collective,
+		Steps:          simCfg.Steps,
+		Collectives:    w.Collectives(),
+		SimSeconds:     w.MaxTime(),
+		CommSeconds:    commSecondsOf(w),
+		WireGB:         float64(w.WireBytes()) / 1e9,
+		WallSeconds:    wall,
+		HeapBytes:      heap,
+		FootprintBytes: foot,
+	}
+	if wall > 0 {
+		row.StepsPerSec = float64(simCfg.Steps) / wall
+	}
+	row.BytesPerWorker = float64(foot) / float64(p)
+	w.Release()
+	return row, calib, nil
+}
+
+// commSecondsOf returns the slowest rank's collective-blocked seconds.
+func commSecondsOf(w *des.World) float64 {
+	worst := 0.0
+	for r := 0; r < w.Size(); r++ {
+		s := 0.0
+		for _, sec := range w.AlgSecondsOf(r) {
+			s += sec
+		}
+		if s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// verifyIdentity replays the workload program on both engines at world
+// size p and errors unless per-rank times, stats, per-algorithm seconds
+// and schedule seconds agree bit-for-bit.
+func verifyIdentity(simCfg train.CommSimConfig, p int) error {
+	idCfg := simCfg
+	idCfg.Steps = 4
+	// Reduced payload sizes: the goroutine engine moves REAL bytes, and
+	// identity only needs both engines replaying the same program.
+	idCfg.ElemScale = 1.0 / 64
+	prog, _, err := train.BuildCommProgram(idCfg, p)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.Platform1()
+
+	c := cluster.New(cfg, p)
+	workers := des.RunOnCluster(c, prog)
+
+	w := des.NewWorld(cfg, p)
+	defer w.Release()
+	des.RunOnWorld(w, prog)
+
+	for r := 0; r < p; r++ {
+		if w.TimeOf(r) != workers[r].Time() {
+			return fmt.Errorf("rank %d time %v != goroutine engine %v", r, w.TimeOf(r), workers[r].Time())
+		}
+		if err := mapsEqual(w.StatsOf(r), workers[r].Stats()); err != nil {
+			return fmt.Errorf("rank %d stats: %w", r, err)
+		}
+		if err := mapsEqual(w.AlgSecondsOf(r), workers[r].AlgSeconds()); err != nil {
+			return fmt.Errorf("rank %d algseconds: %w", r, err)
+		}
+	}
+	meas, pred := w.ScheduleSeconds()
+	refMeas, refPred := workers[0].ScheduleSeconds()
+	if meas != refMeas || pred != refPred {
+		return fmt.Errorf("schedule seconds (%v, %v) != goroutine engine (%v, %v)", meas, pred, refMeas, refPred)
+	}
+	return nil
+}
+
+func mapsEqual(got, want map[string]float64) error {
+	for k, v := range want {
+		if g, ok := got[k]; !ok || g != v {
+			return fmt.Errorf("key %q: %v != %v", k, got[k], v)
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			return fmt.Errorf("extra key %q", k)
+		}
+	}
+	return nil
+}
+
+// MegaCommBreakdown is the CommBreakdown experiment beyond goroutine
+// reach: for each world size it executes one collective per (op, size,
+// algorithm) on a discrete-event world with the algorithm forced, and
+// reports the event-engine-measured makespan. Platform 1 only (the sweep
+// platform).
+func MegaCommBreakdown(worlds []int) ([]CommRow, error) {
+	base := cluster.Platform1()
+	var rows []CommRow
+	for _, p := range worlds {
+		for _, op := range commOps {
+			algs := cluster.EngineFor(base, p).Algorithms(op)
+			sort.Strings(algs)
+			for _, n := range commSizes {
+				ana := commAnalytic(base, op, n, p)
+				group := make([]CommRow, 0, len(algs))
+				bestIdx, bestSec := -1, 0.0
+				for _, alg := range algs {
+					cfg := base
+					cfg.Collective = alg
+					w := des.NewWorld(cfg, p)
+					execUniform(w, op, n)
+					sec := w.MaxTime()
+					w.Release()
+					r := CommRow{
+						Platform: cfg.Name, Op: op, Bytes: n, Workers: p,
+						Algorithm: alg, Seconds: sec, Analytic: ana,
+					}
+					if sec > 0 {
+						r.Ratio = ana / sec
+					}
+					if bestIdx < 0 || sec < bestSec {
+						bestIdx, bestSec = len(group), sec
+					}
+					group = append(group, r)
+				}
+				if bestIdx >= 0 {
+					group[bestIdx].Best = true
+				}
+				rows = append(rows, group...)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// execUniform issues one collective of n total bytes on the world.
+func execUniform(w *des.World, op string, n int) {
+	switch op {
+	case collective.OpAllGather:
+		w.AllGatherUniform(n/w.Size(), "comm")
+	case collective.OpAllReduce:
+		w.AllReduce(n/4, "comm")
+	case collective.OpReduceScatter:
+		w.ReduceScatter(n/4, "comm")
+	default:
+		w.Broadcast(n, 0, "comm")
+	}
+}
+
+// Render returns the human-readable sweep tables.
+func (r *ScaleReport) Render() string {
+	t := &Table{
+		Title:   "Mega-scale discrete-event sweep (" + r.Model + " + " + r.Compressor + ")",
+		Headers: []string{"GPUs", "Nodes", "Policy", "Steps/s", "Sim s", "Comm s", "Wire GB", "KB/worker", "Wall s"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmtF(float64(row.Workers), 0), fmtF(float64(row.Nodes), 0), row.Policy,
+			fmtF(row.StepsPerSec, 1), fmtF(row.SimSeconds, 3), fmtF(row.CommSeconds, 3),
+			fmtF(row.WireGB, 2), fmtF(row.BytesPerWorker/1024, 1), fmtF(row.WallSeconds, 2),
+		})
+	}
+	out := t.String() + "\n"
+	if len(r.Comm) > 0 {
+		out += commTable(r.Comm).String() + "\n"
+	}
+	return out
+}
+
+// MarshalIndent returns the JSON encoding CI archives as BENCH_PR10.json.
+func (r *ScaleReport) MarshalIndent() ([]byte, error) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
+}
+
+// ValidateScale checks a bench-scale JSON report: schema, non-empty rows,
+// positive throughput and sane per-worker memory at every world size.
+func ValidateScale(blob []byte) error {
+	var rep ScaleReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	if rep.Schema != ScaleSchema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, ScaleSchema)
+	}
+	if len(rep.IdentityWorlds) == 0 {
+		return fmt.Errorf("no identity worlds recorded")
+	}
+	if len(rep.Rows) == 0 {
+		return fmt.Errorf("no sweep rows")
+	}
+	seen := map[int]bool{}
+	for i, row := range rep.Rows {
+		if row.Workers <= 0 {
+			return fmt.Errorf("row %d: workers %d", i, row.Workers)
+		}
+		if seen[row.Workers] {
+			return fmt.Errorf("row %d: duplicate world size %d", i, row.Workers)
+		}
+		seen[row.Workers] = true
+		if row.StepsPerSec <= 0 {
+			return fmt.Errorf("row %d (p=%d): steps/sec %g", i, row.Workers, row.StepsPerSec)
+		}
+		if row.SimSeconds <= 0 || row.CommSeconds <= 0 {
+			return fmt.Errorf("row %d (p=%d): sim %gs comm %gs", i, row.Workers, row.SimSeconds, row.CommSeconds)
+		}
+		if row.WireGB <= 0 {
+			return fmt.Errorf("row %d (p=%d): wire %g GB", i, row.Workers, row.WireGB)
+		}
+		if row.Collectives <= 0 {
+			return fmt.Errorf("row %d (p=%d): %d collectives", i, row.Workers, row.Collectives)
+		}
+		if row.BytesPerWorker <= 0 {
+			return fmt.Errorf("row %d (p=%d): bytes/worker %g", i, row.Workers, row.BytesPerWorker)
+		}
+	}
+	for _, p := range []int{64, 256, 1024} {
+		if !seen[p] {
+			return fmt.Errorf("missing world size %d", p)
+		}
+	}
+	if len(rep.Comm) == 0 {
+		return fmt.Errorf("no mega comm-breakdown rows")
+	}
+	return nil
+}

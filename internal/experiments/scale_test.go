@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"compso/internal/collective"
+)
+
+func TestScaleQuickSweep(t *testing.T) {
+	rep, err := RunScale(true, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(ScaleWorlds(true)) {
+		t.Fatalf("%d rows, want %d", len(rep.Rows), len(ScaleWorlds(true)))
+	}
+	for _, row := range rep.Rows {
+		wantPolicy := "auto"
+		if row.Workers >= 1024 {
+			wantPolicy = "hierarchical"
+		}
+		if row.Policy != wantPolicy {
+			t.Errorf("p=%d policy %q, want %q", row.Workers, row.Policy, wantPolicy)
+		}
+		if row.BytesPerWorker <= 0 || row.BytesPerWorker > 64*1024 {
+			t.Errorf("p=%d bytes/worker %g, want (0, 64KB]", row.Workers, row.BytesPerWorker)
+		}
+	}
+	blob, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateScale(blob); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+	if !strings.Contains(rep.Render(), "Mega-scale") {
+		t.Fatal("Render missing sweep table")
+	}
+}
+
+func TestValidateScaleRejects(t *testing.T) {
+	for name, blob := range map[string]string{
+		"not json":     "{",
+		"wrong schema": `{"schema":"other/v1"}`,
+		"no rows":      `{"schema":"` + ScaleSchema + `","identity_worlds":[3]}`,
+	} {
+		if err := ValidateScale([]byte(blob)); err == nil {
+			t.Errorf("%s: validated", name)
+		}
+	}
+}
+
+func TestMegaCommBreakdownSmallWorld(t *testing.T) {
+	rows, err := MegaCommBreakdown([]int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	bestPerGroup := map[string]int{}
+	for _, r := range rows {
+		if r.Seconds <= 0 {
+			t.Errorf("%s/%s/%d: seconds %v", r.Op, r.Algorithm, r.Bytes, r.Seconds)
+		}
+		if r.Op != collective.OpAllReduce && r.Op != collective.OpAllGather {
+			t.Errorf("unexpected op %q", r.Op)
+		}
+		if r.Best {
+			bestPerGroup[fmt.Sprintf("%s/%d", r.Op, r.Bytes)]++
+		}
+	}
+	if len(bestPerGroup) == 0 {
+		t.Fatal("no group marked a best algorithm")
+	}
+}

@@ -97,6 +97,7 @@ var (
 	u32Arena   arena[uint32]
 	f32Arena   arena[float32]
 	f64Arena   arena[float64]
+	intArena   arena[int]
 )
 
 // Bytes returns a pooled []byte of length n. Contents are undefined.
@@ -131,6 +132,12 @@ func ZeroF32(n int) []float32 {
 	clear(s)
 	return s
 }
+
+// Ints returns a pooled []int of length n. Contents are undefined.
+func Ints(n int) []int { return intArena.get(n) }
+
+// PutInts recycles a buffer obtained from Ints.
+func PutInts(s []int) { intArena.put(s) }
 
 // F64 returns a pooled []float64 of length n. Contents are undefined.
 func F64(n int) []float64 { return f64Arena.get(n) }

@@ -1,0 +1,222 @@
+package train
+
+import (
+	"fmt"
+
+	"compso/internal/compress"
+	"compso/internal/des"
+	"compso/internal/gpusim"
+	"compso/internal/modelzoo"
+	"compso/internal/xrand"
+)
+
+// Mega-scale communication simulation. The payload-carrying training loop
+// in this package runs P real model replicas, so it cannot scale past the
+// paper's world sizes. CommSim is the discrete-event counterpart: the
+// compression payload math runs ONCE on a model rank — a synthetic K-FAC
+// gradient is compressed through the real compressor to calibrate the
+// blob size — and the per-step communication pattern of the training loop
+// (compressed gradient all-gather, K-FAC covariance all-reduce,
+// owned-layer eigendecomposition, preconditioned-gradient exchange) is
+// emitted as a des.Program whose collective sizes and compute charges come
+// from the same models (gpusim roofline, modelzoo ComputeModel) the live
+// loop charges. Replaying the program on a des.World then simulates
+// thousands of ranks in one process.
+
+// CommSimConfig selects the workload whose communication profile is
+// simulated.
+type CommSimConfig struct {
+	// Model is the modelzoo profile name (e.g. "resnet50", "bertlarge").
+	Model string
+	// Compressor is the compress registry name ("" or "none" disables
+	// compression: gradients ship as raw FP32).
+	Compressor string
+	// Steps is how many training iterations to emit.
+	Steps int
+	// StatFreq is the K-FAC covariance/eigendecomposition cadence in steps
+	// (default 10, the paper's amortization setting).
+	StatFreq int
+	// KFAC selects the second-order pipeline: covariance all-reduces,
+	// owned-layer eigendecompositions and a compressed preconditioned-
+	// gradient exchange on top of the gradient sync. Off simulates the
+	// first-order compressed-all-gather loop.
+	KFAC bool
+	// Seed drives the synthetic calibration gradient.
+	Seed int64
+	// CalibElems caps the number of gradient elements compressed during
+	// blob-size calibration (default 1<<20; the measured ratio
+	// extrapolates to the full gradient).
+	CalibElems int
+	// ElemScale scales every collective's element/byte sizes (0 or 1 =
+	// full size). The bit-identity legs use a small scale so the
+	// goroutine engine's REAL payload buffers stay affordable — engine
+	// equivalence only needs both engines replaying the same program, not
+	// the full-size one.
+	ElemScale float64
+}
+
+func (c *CommSimConfig) withDefaults() CommSimConfig {
+	out := *c
+	if out.Steps <= 0 {
+		out.Steps = 10
+	}
+	if out.StatFreq <= 0 {
+		out.StatFreq = 10
+	}
+	if out.CalibElems <= 0 {
+		out.CalibElems = 1 << 20
+	}
+	if out.Model == "" {
+		out.Model = "ResNet-50"
+	}
+	return out
+}
+
+// CommSimInfo reports the calibration the program was built from.
+type CommSimInfo struct {
+	Model string `json:"model"`
+	// GradElems is the full FP32 gradient length.
+	GradElems int `json:"grad_elems"`
+	// BlobBytes is the extrapolated compressed-gradient wire size.
+	BlobBytes int `json:"blob_bytes"`
+	// Ratio is the measured compression ratio (1 when uncompressed).
+	Ratio float64 `json:"ratio"`
+	// Ops is the emitted program length.
+	Ops int `json:"ops"`
+}
+
+// BuildCommProgram calibrates the compressor on the model rank and emits
+// the des.Program of cfg.Steps training iterations for a world of p
+// ranks.
+func BuildCommProgram(cfg CommSimConfig, p int) (des.Program, CommSimInfo, error) {
+	c := cfg.withDefaults()
+	prof, err := modelzoo.ByName(c.Model)
+	if err != nil {
+		return nil, CommSimInfo{}, err
+	}
+	ratio, err := calibrateRatio(prof, c)
+	if err != nil {
+		return nil, CommSimInfo{}, err
+	}
+
+	scale := c.ElemScale
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	elems := scaled(prof.TotalParams(), scale)
+	covElems := scaled(prof.CovarianceFloats(), scale)
+	blob := scaled(int(float64(4*elems)/ratio), 1)
+	dev, pipe := gpusim.A100(), gpusim.COMPSOFused()
+	cm := modelzoo.A100Compute()
+	compressT := dev.Time(pipe, elems)
+	decompressT := dev.DecompressTime(pipe, elems)
+	if ratio == 1 {
+		compressT, decompressT = 0, 0 // uncompressed: no kernel charges
+	}
+
+	info := CommSimInfo{Model: prof.Name, GradElems: elems, BlobBytes: blob, Ratio: ratio}
+	var prog des.Program
+	for step := 0; step < c.Steps; step++ {
+		prog = append(prog, des.Op{Kind: des.KindSetStep, Step: step})
+		prog = append(prog, des.Op{Kind: des.KindCompute, Seconds: cm.FwdBwdTime(prof), Category: "fwd-bwd"})
+		if !c.KFAC {
+			// First-order loop: compress local gradient, all-gather the
+			// blobs, decode all P replicas.
+			prog = append(prog,
+				des.Op{Kind: des.KindCompute, Seconds: compressT, Category: "compress"},
+				des.Op{Kind: des.KindAllGather, Sizes: []int{blob}, Category: "grad-allgather"},
+				des.Op{Kind: des.KindCompute, Seconds: float64(p) * decompressT, Category: "decompress"},
+			)
+			continue
+		}
+		// K-FAC loop (Figure 2): raw gradient average, amortized factor
+		// sync, owned-layer inverse work, compressed preconditioned
+		// exchange.
+		prog = append(prog, des.Op{Kind: des.KindAllReduce, Elems: elems, Category: "grad-allreduce"})
+		if step%c.StatFreq == 0 {
+			prog = append(prog,
+				des.Op{Kind: des.KindCompute, Seconds: cm.CovTime(prof), Category: "kfac-cov"},
+				des.Op{Kind: des.KindAllReduce, Elems: covElems, Category: "kfac-allreduce"},
+				des.Op{Kind: des.KindComputeEach, PerRank: eigCharges(prof, cm, p), Category: "kfac-eigendecomp"},
+			)
+		}
+		prog = append(prog,
+			des.Op{Kind: des.KindComputeEach, PerRank: precondCharges(prof, cm, p), Category: "kfac-precondition"},
+			des.Op{Kind: des.KindCompute, Seconds: compressT, Category: "compress"},
+			des.Op{Kind: des.KindAllGather, Sizes: kfacGatherSizes(prof, ratio, scale, p), Category: "kfac-allgather"},
+			des.Op{Kind: des.KindCompute, Seconds: float64(p) * decompressT, Category: "decompress"},
+		)
+	}
+	info.Ops = len(prog)
+	return prog, info, nil
+}
+
+// calibrateRatio compresses one synthetic gradient (capped at CalibElems)
+// through the configured compressor and returns the measured ratio.
+func calibrateRatio(prof modelzoo.Profile, c CommSimConfig) (float64, error) {
+	if c.Compressor == "" || c.Compressor == "none" {
+		return 1, nil
+	}
+	comp, err := compress.ByName(c.Compressor, compress.Options{Seed: c.Seed})
+	if err != nil {
+		return 0, err
+	}
+	rng := xrand.NewSeeded(c.Seed)
+	flat := make([]float32, 0, c.CalibElems)
+	for li := range prof.Layers {
+		remaining := c.CalibElems - len(flat)
+		if remaining <= 0 {
+			break
+		}
+		flat = append(flat, prof.SyntheticGradient(rng, li, remaining)...)
+	}
+	blob, err := comp.Compress(flat)
+	if err != nil {
+		return 0, fmt.Errorf("train: comm-sim calibration: %w", err)
+	}
+	ratio := float64(4*len(flat)) / float64(len(blob))
+	if ratio <= 0 {
+		return 0, fmt.Errorf("train: comm-sim calibration produced ratio %g", ratio)
+	}
+	return ratio, nil
+}
+
+// eigCharges returns each rank's eigendecomposition seconds over its
+// owned layers (the round-robin layer assignment of the training loop).
+func eigCharges(prof modelzoo.Profile, cm modelzoo.ComputeModel, p int) []float64 {
+	out := make([]float64, p)
+	for li := range prof.Layers {
+		out[li%p] += cm.EigTime(prof, li)
+	}
+	return out
+}
+
+// precondCharges returns each rank's preconditioning seconds over its
+// owned layers.
+func precondCharges(prof modelzoo.Profile, cm modelzoo.ComputeModel, p int) []float64 {
+	out := make([]float64, p)
+	for li := range prof.Layers {
+		out[li%p] += cm.PrecondTime(prof, li)
+	}
+	return out
+}
+
+// kfacGatherSizes returns the per-rank compressed preconditioned-gradient
+// contribution: each rank ships its owned layers' parameters at the
+// calibrated ratio (ranks beyond the layer count contribute nothing).
+func kfacGatherSizes(prof modelzoo.Profile, ratio, scale float64, p int) []int {
+	sizes := make([]int, p)
+	for li, l := range prof.Layers {
+		sizes[li%p] += scaled(int(float64(4*l.Params())/ratio), scale)
+	}
+	return sizes
+}
+
+// scaled applies the ElemScale size reduction, keeping sizes positive.
+func scaled(n int, scale float64) int {
+	s := int(float64(n) * scale)
+	if s < 1 {
+		return 1
+	}
+	return s
+}

@@ -225,6 +225,10 @@ func Run(c Config) (*Result, error) {
 		for k, v := range cluster.MergeAlgStats(workers) {
 			algAccum[k] += v
 		}
+		// The training loop never reads the per-worker event rings; recycle
+		// them so repeated runs and crash-recovery restarts reuse the same
+		// pooled rings instead of holding O(P·traceCap) events per attempt.
+		cluster.ReleaseTraces(workers)
 		if err == nil {
 			for k, v := range commAccum {
 				result.CommSeconds[k] = v / float64(cfg.Workers)
